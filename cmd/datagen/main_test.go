@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildDatagen(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "datagen-test-bin")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Skipf("cannot build CLI in test environment: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestDatagenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildDatagen(t)
+
+	t.Run("list", func(t *testing.T) {
+		out, err := exec.Command(bin, "-list").Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"iris", "ncvoter", "uniprot", "fd-reduced-30"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("list missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("named dataset to file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "iris.csv")
+		if err := exec.Command(bin, "-dataset", "iris", "-o", path).Run(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines != 151 { // header + 150 rows
+			t.Fatalf("iris CSV has %d lines", lines)
+		}
+	})
+
+	t.Run("row and column caps", func(t *testing.T) {
+		out, err := exec.Command(bin, "-dataset", "uniprot", "-rows", "20", "-cols", "5").Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+		if len(lines) != 21 {
+			t.Fatalf("%d lines, want 21", len(lines))
+		}
+		if got := strings.Count(lines[0], ",") + 1; got != 5 {
+			t.Fatalf("%d columns, want 5", got)
+		}
+	})
+
+	t.Run("fd-reduced", func(t *testing.T) {
+		out, err := exec.Command(bin, "-fd-reduced", "-rows", "50", "-cols", "4").Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines := strings.Count(string(out), "\n"); lines != 51 {
+			t.Fatalf("%d lines, want 51", lines)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		if err := exec.Command(bin, "-dataset", "nope").Run(); err == nil {
+			t.Fatal("unknown dataset accepted")
+		}
+		if err := exec.Command(bin, "-fd-reduced").Run(); err == nil {
+			t.Fatal("fd-reduced without dims accepted")
+		}
+		if err := exec.Command(bin).Run(); err == nil {
+			t.Fatal("no arguments accepted")
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the hyfd binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hyfd-test-bin")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Skipf("cannot build CLI in test environment: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	csv := writeCSV(t, "Zip,City\n14482,Potsdam\n14482,Potsdam\n10115,Berlin\n")
+
+	t.Run("default output", func(t *testing.T) {
+		out, err := exec.Command(bin, csv).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "[Zip] -> City") {
+			t.Fatalf("missing FD in output:\n%s", out)
+		}
+	})
+
+	t.Run("every algorithm agrees", func(t *testing.T) {
+		var first string
+		for _, alg := range []string{"HyFD", "Tane", "Fun", "FD_Mine", "Dfd", "Dep-Miner", "FastFDs", "Fdep"} {
+			out, err := exec.Command(bin, "-algorithm", alg, csv).Output()
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if first == "" {
+				first = string(out)
+			} else if string(out) != first {
+				t.Fatalf("%s output differs:\n%s\nvs\n%s", alg, out, first)
+			}
+		}
+	})
+
+	t.Run("json", func(t *testing.T) {
+		out, err := exec.Command(bin, "-json", csv).Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(out), `"dependant"`) {
+			t.Fatalf("not JSON:\n%s", out)
+		}
+	})
+
+	t.Run("profiling flags", func(t *testing.T) {
+		out, err := exec.Command(bin, "-no-fds", "-uccs", "-keys", "-bcnf", "-approx", "0.5", csv).Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"unique column combinations", "candidate keys", "BCNF", "approximate FDs"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("missing %q section:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("stdin and stats", func(t *testing.T) {
+		cmd := exec.Command(bin, "-stats", "-")
+		cmd.Stdin = strings.NewReader("A,B\n1,2\n1,2\n")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(out), "fds:") {
+			t.Fatalf("stats missing:\n%s", out)
+		}
+	})
+
+	t.Run("bad input fails", func(t *testing.T) {
+		if err := exec.Command(bin, filepath.Join(t.TempDir(), "missing.csv")).Run(); err == nil {
+			t.Fatal("missing file accepted")
+		}
+		if err := exec.Command(bin, "-algorithm", "Nope", csv).Run(); err == nil {
+			t.Fatal("unknown algorithm accepted")
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package hyfd_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hyfd"
+)
+
+func ExampleDiscover() {
+	rel, err := hyfd.ReadCSV("addresses", strings.NewReader(
+		"Name,Zip,City\n"+
+			"ada,14482,Potsdam\n"+
+			"bob,14482,Potsdam\n"+
+			"cyn,10115,Berlin\n"), hyfd.CSVOptions{HasHeader: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := hyfd.Discover(rel, hyfd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range result.FDs {
+		fmt.Println(f.Format(rel))
+	}
+	// Output:
+	// [Name] -> Zip
+	// [City] -> Zip
+	// [Name] -> City
+	// [Zip] -> City
+}
+
+func ExampleDiscoverWith() {
+	rel := hyfd.NewRelation("r", []string{"A", "B"})
+	rel.AppendRow([]string{"1", "x"})
+	rel.AppendRow([]string{"2", "x"})
+	result, err := hyfd.DiscoverWith(hyfd.AlgorithmTane, rel, hyfd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range result.FDs {
+		fmt.Println(f.Format(rel))
+	}
+	// Output:
+	// [] -> B
+}
+
+func ExampleDiscoverApproximate() {
+	rel := hyfd.NewRelation("addr", []string{"Zip", "City"})
+	for i := 0; i < 9; i++ {
+		rel.AppendRow([]string{"14482", "Potsdam"})
+		rel.AppendRow([]string{"10115", "Berlin"})
+	}
+	rel.AppendRow([]string{"14482", "Potsdm"}) // one typo
+	rel.AppendRow([]string{"10115", "Brlin"})  // another
+	afds, err := hyfd.DiscoverApproximate(rel, hyfd.ApproximateOptions{MaxError: 0.11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range afds {
+		if a.Lhs.Test(0) && a.Rhs == 1 {
+			fmt.Printf("Zip -> City with g3 = %.2f\n", a.Error)
+		}
+	}
+	// Output:
+	// Zip -> City with g3 = 0.10
+}
+
+func ExampleDiscoverUCCs() {
+	rel := hyfd.NewRelation("orders", []string{"OrderID", "CustID"})
+	rel.AppendRow([]string{"1", "7"})
+	rel.AppendRow([]string{"2", "7"})
+	rel.AppendRow([]string{"3", "8"})
+	uccs, err := hyfd.DiscoverUCCs(rel, hyfd.NullEqualsNull, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range uccs {
+		fmt.Println(u)
+	}
+	// Output:
+	// {0}
+}
+
+func ExampleAlgorithms() {
+	fmt.Println(strings.Join(hyfd.Algorithms(), ", "))
+	// Output:
+	// HyFD, Tane, Fun, FD_Mine, Dfd, Dep-Miner, FastFDs, Fdep
+}

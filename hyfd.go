@@ -1,0 +1,188 @@
+// Package hyfd is a pure-Go implementation of HyFD — "A Hybrid Approach to
+// Functional Dependency Discovery" (Papenbrock & Naumann, SIGMOD 2016) —
+// together with the seven state-of-the-art discovery algorithms the paper
+// evaluates against.
+//
+// HyFD discovers all minimal, non-trivial functional dependencies of a
+// relational instance by alternating between two phases: a column-efficient
+// sampling phase that induces FD candidates from carefully chosen record
+// pair comparisons, and a row-efficient validation phase that checks the
+// candidates directly against position list indexes and specializes the
+// invalid ones. The combination processes datasets that are both wide and
+// long, where every single-strategy algorithm fails.
+//
+// # Quick start
+//
+//	rel, err := hyfd.ReadCSVFile("data.csv", hyfd.CSVOptions{HasHeader: true})
+//	if err != nil { ... }
+//	result, err := hyfd.Discover(rel, hyfd.Options{})
+//	if err != nil { ... }
+//	for _, f := range result.FDs {
+//		fmt.Println(f.Format(rel))
+//	}
+//
+// The companion packages expose the use-case layer the paper motivates:
+// candidate keys, closures, schema normalization (BCNF/3NF) and FD-based
+// data cleansing live in the closure package; synthetic dataset generators
+// mirroring the paper's evaluation data live in datasets.
+package hyfd
+
+import (
+	"fmt"
+	"io"
+
+	"hyfd/internal/afd"
+	"hyfd/internal/bitset"
+	"hyfd/internal/core"
+	"hyfd/internal/fd"
+	"hyfd/internal/relation"
+	"hyfd/internal/ucc"
+)
+
+// Relation is a named relational instance (schema + rows of string cells).
+type Relation = relation.Relation
+
+// NewRelation returns an empty relation with the given name and columns.
+func NewRelation(name string, columns []string) *Relation {
+	return relation.New(name, columns)
+}
+
+// CSVOptions controls CSV parsing; see ReadCSV.
+type CSVOptions = relation.CSVOptions
+
+// ReadCSV parses a relation from CSV input.
+func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Relation, error) {
+	return relation.ReadCSV(name, r, opts)
+}
+
+// ReadCSVFile parses a relation from a CSV file.
+func ReadCSVFile(path string, opts CSVOptions) (*Relation, error) {
+	return relation.ReadCSVFile(path, opts)
+}
+
+// Null is the in-memory representation of a SQL NULL cell.
+const Null = relation.Null
+
+// NullSemantics selects how nulls compare during discovery.
+type NullSemantics = relation.NullSemantics
+
+// The two null comparison semantics of §10.1.
+const (
+	NullEqualsNull    = relation.NullEqualsNull
+	NullNotEqualsNull = relation.NullNotEqualsNull
+)
+
+// FD is a functional dependency Lhs → Rhs (attribute indices into the
+// relation's columns).
+type FD = fd.FD
+
+// FDSet is a canonical collection of FDs.
+type FDSet = fd.Set
+
+// AttrSet is a set of attribute indices.
+type AttrSet = bitset.Set
+
+// NewAttrSet returns an attribute set over a universe of n attributes with
+// the given members.
+func NewAttrSet(n int, members ...int) AttrSet {
+	return bitset.FromIndices(n, members...)
+}
+
+// Options parameterizes Discover. The zero value uses the paper's defaults:
+// null=null semantics, the 1 % efficiency threshold, single-threaded
+// execution, unbounded complete results.
+type Options struct {
+	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥.
+	NullSemantics NullSemantics
+	// EfficiencyThreshold is HyFD's only tuning parameter (§10.5); 0 means
+	// the paper's default of 0.01. It controls both when sampling is
+	// considered exhausted and when validation hands control back.
+	EfficiencyThreshold float64
+	// Threads parallelizes candidate validation; 0 or 1 is sequential.
+	Threads int
+	// MaxLhsSize truncates results to LHSs of at most this size
+	// (0 = unbounded). The result is then complete up to that size.
+	MaxLhsSize int
+	// MemoryBudgetBytes arms the memory Guardian (§9); 0 disables it.
+	MemoryBudgetBytes int
+}
+
+// Stats is the telemetry of one discovery run.
+type Stats = core.Stats
+
+// Result bundles the discovered FDs with run telemetry.
+type Result struct {
+	// FDs holds all discovered minimal, non-trivial FDs in canonical
+	// order.
+	FDs []FD
+	// Set is the same collection as a queryable FDSet.
+	Set *FDSet
+	// Stats reports phase switches, comparisons, validations, and whether
+	// the result is complete.
+	Stats *Stats
+}
+
+// Discover runs HyFD on the relation.
+func Discover(rel *Relation, opts Options) (*Result, error) {
+	set, stats, err := core.Discover(rel, core.Config{
+		NullSemantics:       opts.NullSemantics,
+		EfficiencyThreshold: opts.EfficiencyThreshold,
+		Threads:             opts.Threads,
+		MaxLhsSize:          opts.MaxLhsSize,
+		MemoryBudgetBytes:   opts.MemoryBudgetBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{FDs: set.All(), Set: set, Stats: stats}, nil
+}
+
+// DiscoverWith runs the named algorithm instead of HyFD; see Algorithms for
+// the available names. HyFD options other than NullSemantics apply only to
+// "HyFD" itself.
+func DiscoverWith(algorithm string, rel *Relation, opts Options) (*Result, error) {
+	if algorithm == AlgorithmHyFD {
+		return Discover(rel, opts)
+	}
+	alg, ok := registry[algorithm]
+	if !ok {
+		return nil, fmt.Errorf("hyfd: unknown algorithm %q (available: %v)", algorithm, Algorithms())
+	}
+	set, err := alg.Discover(rel, opts.NullSemantics)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{FDs: set.All(), Set: set}, nil
+}
+
+// ApproximateFD is an approximate functional dependency with its g3 error:
+// the minimum fraction of records whose removal makes the FD exact.
+type ApproximateFD = afd.AFD
+
+// ApproximateOptions parameterizes DiscoverApproximate.
+type ApproximateOptions struct {
+	// MaxError is the g3 threshold ε ∈ [0,1); 0 reproduces exact discovery.
+	MaxError float64
+	// NullSemantics selects the null comparison semantics.
+	NullSemantics NullSemantics
+	// MaxLhsSize bounds LHS sizes (0 = unbounded).
+	MaxLhsSize int
+}
+
+// DiscoverApproximate finds all minimal approximate FDs whose g3 error does
+// not exceed the threshold — the relaxation used on dirty data, where rules
+// hold for almost all records (see the cleansing example).
+func DiscoverApproximate(rel *Relation, opts ApproximateOptions) ([]ApproximateFD, error) {
+	return afd.Discover(rel, afd.Options{
+		MaxError:      opts.MaxError,
+		NullSemantics: opts.NullSemantics,
+		MaxLhs:        opts.MaxLhsSize,
+	})
+}
+
+// DiscoverUCCs returns all minimal unique column combinations (candidate
+// keys of the instance), the sister problem of FD discovery. maxSize
+// bounds the combination size (0 = unbounded).
+func DiscoverUCCs(rel *Relation, ns NullSemantics, maxSize int) ([]AttrSet, error) {
+	return ucc.Discover(rel, ns, maxSize)
+}

@@ -1,0 +1,140 @@
+package agreeset
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/pli"
+	"hyfd/internal/relation"
+)
+
+func index(rows [][]string, cols int) *pli.Index {
+	names := make([]string, cols)
+	for i := range names {
+		names[i] = "c" + strconv.Itoa(i)
+	}
+	rel := relation.New("t", names)
+	for _, r := range rows {
+		rel.AppendRow(r)
+	}
+	return pli.NewIndex(rel, relation.NullEqualsNull)
+}
+
+// naiveAgreeSets computes the distinct agree sets by comparing all pairs of
+// raw rows.
+func naiveAgreeSets(rows [][]string, cols int) map[string]bool {
+	out := make(map[string]bool)
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			s := bitset.New(cols)
+			for a := 0; a < cols; a++ {
+				if rows[i][a] == rows[j][a] {
+					s.Set(a)
+				}
+			}
+			out[s.Key()] = true
+		}
+	}
+	return out
+}
+
+func TestComputeSimple(t *testing.T) {
+	rows := [][]string{
+		{"1", "2", "3"},
+		{"1", "4", "5"},
+		{"6", "4", "3"},
+	}
+	got := Compute(index(rows, 3))
+	want := naiveAgreeSets(rows, 3)
+	if len(got) != len(want) {
+		t.Fatalf("got %d agree sets, want %d: %v", len(got), len(want), got)
+	}
+	for _, s := range got {
+		if !want[s.Key()] {
+			t.Fatalf("spurious agree set %v", s)
+		}
+	}
+}
+
+func TestComputeEmptyAgreeSetDetected(t *testing.T) {
+	// Rows sharing nothing: the empty agree set must be present.
+	rows := [][]string{
+		{"1", "2"},
+		{"3", "4"},
+	}
+	got := Compute(index(rows, 2))
+	if len(got) != 1 || !got[0].IsEmpty() {
+		t.Fatalf("agree sets = %v, want only ∅", got)
+	}
+}
+
+func TestComputeNoPairs(t *testing.T) {
+	if got := Compute(index(nil, 2)); len(got) != 0 {
+		t.Fatalf("agree sets of empty relation = %v", got)
+	}
+	if got := Compute(index([][]string{{"1", "2"}}, 2)); len(got) != 0 {
+		t.Fatalf("agree sets of single row = %v", got)
+	}
+}
+
+func TestQuickComputeMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := make([][]string, 2+r.Intn(30))
+		cols := 2 + r.Intn(4)
+		for i := range rows {
+			row := make([]string, cols)
+			for j := range row {
+				row[j] = strconv.Itoa(r.Intn(4))
+			}
+			rows[i] = row
+		}
+		got := Compute(index(rows, cols))
+		want := naiveAgreeSets(rows, cols)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, s := range got {
+			if !want[s.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferenceSets(t *testing.T) {
+	ag := []bitset.Set{bitset.FromIndices(3, 0)}
+	diff := DifferenceSets(3, ag)
+	if len(diff) != 1 || !diff[0].Equal(bitset.FromIndices(3, 1, 2)) {
+		t.Fatalf("diff = %v", diff)
+	}
+}
+
+func TestMaximizeMinimize(t *testing.T) {
+	sets := []bitset.Set{
+		bitset.FromIndices(4, 0),
+		bitset.FromIndices(4, 0, 1),
+		bitset.FromIndices(4, 2),
+		bitset.FromIndices(4, 0, 1), // duplicate
+	}
+	maxed := Maximize(sets)
+	if len(maxed) != 2 {
+		t.Fatalf("Maximize = %v", maxed)
+	}
+	mined := Minimize(sets)
+	if len(mined) != 2 {
+		t.Fatalf("Minimize = %v", mined)
+	}
+	for _, s := range mined {
+		if s.Cardinality() > 1 {
+			t.Fatalf("non-minimal set in Minimize output: %v", s)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package algorithms hosts the seven state-of-the-art FD discovery
+// baselines the HyFD paper evaluates against (§2, §10): the lattice
+// traversal family (TANE, FUN, FD_Mine, DFD), the difference-/agree-set
+// family (Dep-Miner, FastFDs) and the dependency induction family (FDEP).
+// Each lives in its own subpackage and implements the same contract:
+// discover all minimal, non-trivial FDs of a relation.
+package algorithms
+
+import (
+	"hyfd/internal/fd"
+	"hyfd/internal/relation"
+)
+
+// Algorithm is the common contract of all FD discovery implementations.
+type Algorithm interface {
+	// Name returns the algorithm's canonical name as used in the paper.
+	Name() string
+	// Discover returns all minimal, non-trivial FDs of the relation.
+	Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error)
+}

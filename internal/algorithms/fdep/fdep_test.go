@@ -1,0 +1,11 @@
+package fdep
+
+import (
+	"testing"
+
+	"hyfd/internal/algorithms/algotest"
+)
+
+func TestConformance(t *testing.T) {
+	algotest.RunConformance(t, New(), 101)
+}

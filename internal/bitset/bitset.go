@@ -1,0 +1,292 @@
+// Package bitset provides fixed-width bitsets over a small universe of
+// attributes. HyFD encodes left-hand sides of functional dependencies and
+// observed FD-violations as bitsets, so these operations sit on the hot path
+// of both discovery phases.
+//
+// A Set is a value type backed by a []uint64 word slice. All binary
+// operations require both operands to share the same universe width; this is
+// checked only when the word counts differ, keeping the common path free of
+// branches.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"unsafe"
+)
+
+const wordBits = 64
+
+// Set is a bitset over a fixed universe of n attributes, indexed 0..n-1.
+// The zero value is an empty set over an empty universe; use New to create
+// a set with capacity.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over a universe of n attributes.
+func New(n int) Set {
+	if n < 0 {
+		panic("bitset: negative universe size")
+	}
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a set over a universe of n attributes with the given
+// indices set.
+func FromIndices(n int, indices ...int) Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Set(i)
+	}
+	return s
+}
+
+// Universe returns the number of attributes in the set's universe.
+func (s Set) Universe() int { return s.n }
+
+// Set marks attribute i as a member.
+func (s Set) Set(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear removes attribute i.
+func (s Set) Clear(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether attribute i is a member.
+func (s Set) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// With returns a copy of s with attribute i added.
+func (s Set) With(i int) Set {
+	c := s.Clone()
+	c.Set(i)
+	return c
+}
+
+// Without returns a copy of s with attribute i removed.
+func (s Set) Without(i int) Set {
+	c := s.Clone()
+	c.Clear(i)
+	return c
+}
+
+// Cardinality returns the number of members.
+func (s Set) Cardinality() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether no attribute is set.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same members.
+func (s Set) Equal(t Set) bool {
+	if len(s.words) != len(t.words) {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every member of s is a member of t.
+func (s Set) IsSubsetOf(t Set) bool {
+	if len(s.words) != len(t.words) {
+		panic("bitset: universe mismatch")
+	}
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsProperSubsetOf reports whether s ⊂ t.
+func (s Set) IsProperSubsetOf(t Set) bool {
+	return s.IsSubsetOf(t) && !s.Equal(t)
+}
+
+// Intersects reports whether s and t share at least one member.
+func (s Set) Intersects(t Set) bool {
+	if len(s.words) != len(t.words) {
+		panic("bitset: universe mismatch")
+	}
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// And returns s ∩ t as a new set.
+func (s Set) And(t Set) Set {
+	if len(s.words) != len(t.words) {
+		panic("bitset: universe mismatch")
+	}
+	r := Set{words: make([]uint64, len(s.words)), n: s.n}
+	for i := range s.words {
+		r.words[i] = s.words[i] & t.words[i]
+	}
+	return r
+}
+
+// Or returns s ∪ t as a new set.
+func (s Set) Or(t Set) Set {
+	if len(s.words) != len(t.words) {
+		panic("bitset: universe mismatch")
+	}
+	r := Set{words: make([]uint64, len(s.words)), n: s.n}
+	for i := range s.words {
+		r.words[i] = s.words[i] | t.words[i]
+	}
+	return r
+}
+
+// AndNot returns s \ t as a new set.
+func (s Set) AndNot(t Set) Set {
+	if len(s.words) != len(t.words) {
+		panic("bitset: universe mismatch")
+	}
+	r := Set{words: make([]uint64, len(s.words)), n: s.n}
+	for i := range s.words {
+		r.words[i] = s.words[i] &^ t.words[i]
+	}
+	return r
+}
+
+// Flip returns the complement of s within its universe.
+func (s Set) Flip() Set {
+	r := Set{words: make([]uint64, len(s.words)), n: s.n}
+	for i := range s.words {
+		r.words[i] = ^s.words[i]
+	}
+	// Mask off bits beyond the universe in the last word.
+	if rem := s.n % wordBits; rem != 0 && len(r.words) > 0 {
+		r.words[len(r.words)-1] &= (1 << uint(rem)) - 1
+	}
+	return r
+}
+
+// NextSet returns the index of the first member >= i, or -1 if none exists.
+func (s Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	w := i / wordBits
+	word := s.words[w] >> (uint(i) % wordBits)
+	if word != 0 {
+		return i + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			return w*wordBits + bits.TrailingZeros64(s.words[w])
+		}
+	}
+	return -1
+}
+
+// Indices returns the members of s in ascending order.
+func (s Set) Indices() []int {
+	out := make([]int, 0, s.Cardinality())
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ForEach calls fn for every member of s in ascending order. It stops early
+// if fn returns false.
+func (s Set) ForEach(fn func(i int) bool) {
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+// Key returns a string usable as a map key identifying the set's contents.
+// Two sets over the same universe have equal keys iff they are Equal. The
+// returned string aliases no mutable memory.
+func (s Set) Key() string {
+	if len(s.words) == 0 {
+		return ""
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&s.words[0])), len(s.words)*8)
+	return string(b) // string() copies
+}
+
+// CompareCardinalityDesc is a comparison function ordering sets by
+// descending cardinality, breaking ties by lexicographic word order so the
+// ordering is total and deterministic.
+func CompareCardinalityDesc(a, b Set) int {
+	ca, cb := a.Cardinality(), b.Cardinality()
+	if ca != cb {
+		return cb - ca
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			if a.words[i] < b.words[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// String renders the set as {i,j,...} for debugging.
+func (s Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

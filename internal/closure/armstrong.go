@@ -1,0 +1,64 @@
+package closure
+
+import (
+	"fmt"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/fd"
+	"hyfd/internal/relation"
+)
+
+// ArmstrongRelation constructs a relation whose functional dependencies are
+// exactly the closure of the given FD set — an Armstrong relation. The
+// construction is the classical one via closed attribute sets (X is closed
+// iff X⁺ = X): a base record plus, per closed set C, one record that agrees
+// with the base exactly on C. Then X → A holds in the instance iff A lies
+// in every closed superset of X, i.e. iff A ∈ X⁺.
+//
+// The enumeration of closed sets is exponential in numAttrs; Armstrong
+// relations are a test and teaching device for small schemas (the Dep-Miner
+// lineage of the paper's related work treats them as a first-class output).
+func ArmstrongRelation(fds *fd.Set, numAttrs int) *relation.Relation {
+	cols := make([]string, numAttrs)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	rel := relation.New("armstrong", cols)
+	if numAttrs == 0 {
+		return rel
+	}
+	if numAttrs > 20 {
+		panic("closure: ArmstrongRelation is limited to 20 attributes")
+	}
+
+	base := make([]string, numAttrs)
+	for i := range base {
+		base[i] = "0"
+	}
+	rel.AppendRow(base)
+
+	full := bitset.New(numAttrs).Flip()
+	next := 1
+	for mask := 0; mask < 1<<numAttrs; mask++ {
+		x := bitset.New(numAttrs)
+		for a := 0; a < numAttrs; a++ {
+			if mask&(1<<a) != 0 {
+				x.Set(a)
+			}
+		}
+		if x.Equal(full) || !Closure(fds, x).Equal(x) {
+			continue // not closed, or the trivial full set
+		}
+		row := make([]string, numAttrs)
+		for a := 0; a < numAttrs; a++ {
+			if x.Test(a) {
+				row[a] = "0"
+			} else {
+				row[a] = fmt.Sprintf("v%d", next)
+				next++
+			}
+		}
+		rel.AppendRow(row)
+	}
+	return rel
+}

@@ -1,0 +1,117 @@
+package closure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/fd"
+	"hyfd/internal/relation"
+)
+
+// minimalFDsOfClosure derives, from an FD set, the minimal FDs its closure
+// implies: for every A, the minimal X with A ∈ X⁺ and A ∉ X.
+func minimalFDsOfClosure(fds *fd.Set, n int) *fd.Set {
+	out := fd.NewSet(n)
+	for rhs := 0; rhs < n; rhs++ {
+		var found []bitset.Set
+		level := []bitset.Set{bitset.New(n)}
+		for len(level) > 0 {
+			var next []bitset.Set
+			seen := map[string]struct{}{}
+			for _, lhs := range level {
+				dominated := false
+				for _, g := range found {
+					if g.IsSubsetOf(lhs) {
+						dominated = true
+						break
+					}
+				}
+				if dominated {
+					continue
+				}
+				if Determines(fds, lhs, rhs) {
+					found = append(found, lhs)
+					out.Add(fd.FD{Lhs: lhs, Rhs: rhs})
+					continue
+				}
+				for a := 0; a < n; a++ {
+					if a == rhs || lhs.Test(a) {
+						continue
+					}
+					sp := lhs.With(a)
+					if _, dup := seen[sp.Key()]; dup {
+						continue
+					}
+					seen[sp.Key()] = struct{}{}
+					next = append(next, sp)
+				}
+			}
+			level = next
+		}
+	}
+	return out
+}
+
+func TestArmstrongTextbook(t *testing.T) {
+	fds := textbookFDs() // A→B, B→C over 4 attrs
+	rel := ArmstrongRelation(fds, 4)
+	if err := rel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	discovered := fd.BruteForce(rel, relation.NullEqualsNull)
+	want := minimalFDsOfClosure(fds, 4)
+	if !discovered.Equal(want) {
+		t.Fatalf("Armstrong relation FDs differ:\nmissing: %v\nextra: %v",
+			want.Diff(discovered), discovered.Diff(want))
+	}
+}
+
+// TestQuickArmstrongExactness: discovering FDs on the Armstrong relation of
+// a random FD set must yield exactly the minimal FDs of its closure — a
+// deep cross-check between the closure layer and the discovery stack.
+func TestQuickArmstrongExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		fds := fd.NewSet(n)
+		for i := 0; i < r.Intn(6); i++ {
+			lhs := bitset.New(n)
+			for a := 0; a < n; a++ {
+				if r.Intn(3) == 0 {
+					lhs.Set(a)
+				}
+			}
+			rhs := r.Intn(n)
+			if lhs.Test(rhs) {
+				continue
+			}
+			fds.Add(fd.FD{Lhs: lhs, Rhs: rhs})
+		}
+		rel := ArmstrongRelation(fds, n)
+		return fd.BruteForce(rel, relation.NullEqualsNull).Equal(minimalFDsOfClosure(fds, n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArmstrongEdgeCases(t *testing.T) {
+	// No FDs: the Armstrong relation must have no non-trivial FDs.
+	rel := ArmstrongRelation(fd.NewSet(3), 3)
+	if got := fd.BruteForce(rel, relation.NullEqualsNull); got.Size() != 0 {
+		t.Fatalf("FD-free Armstrong relation has FDs:\n%s", got)
+	}
+	// Zero attributes.
+	if rel := ArmstrongRelation(fd.NewSet(0), 0); rel.NumCols() != 0 {
+		t.Fatal("zero-attribute Armstrong relation broken")
+	}
+	// Size guard.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic above the attribute limit")
+		}
+	}()
+	ArmstrongRelation(fd.NewSet(21), 21)
+}

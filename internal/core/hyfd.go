@@ -1,0 +1,150 @@
+// Package core orchestrates the HyFD algorithm (§4, Fig. 2): the
+// Preprocessor builds PLIs and compressed records, then control alternates
+// between Phase 1 (Sampler + Inductor, column-efficient) and Phase 2
+// (Validator, row-efficient) until the Validator confirms every candidate.
+// An optional memory Guardian bounds the result size.
+package core
+
+import (
+	"errors"
+
+	"hyfd/internal/fd"
+	"hyfd/internal/guardian"
+	"hyfd/internal/inductor"
+	"hyfd/internal/pli"
+	"hyfd/internal/relation"
+	"hyfd/internal/sampler"
+	"hyfd/internal/validator"
+)
+
+// Config parameterizes a HyFD run. The zero value selects the paper's
+// defaults: null=null semantics, 1 % efficiency thresholds for both phases,
+// single-threaded execution, unbounded results.
+type Config struct {
+	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥ comparisons.
+	NullSemantics relation.NullSemantics
+	// EfficiencyThreshold is HyFD's only tuning parameter (§10.5): the
+	// initial sampling efficiency cutoff and the validation
+	// invalid-candidate cutoff. 0 means the paper's default of 0.01.
+	EfficiencyThreshold float64
+	// Threads is the worker count for parallel sampling-free validation;
+	// 0 or 1 runs single-threaded, matching the paper's base variant.
+	Threads int
+	// MaxLhsSize bounds result LHS cardinality up front (0 = unbounded).
+	MaxLhsSize int
+	// MemoryBudgetBytes arms the Guardian: when the result tree's
+	// estimated footprint exceeds the budget, the largest-LHS results are
+	// discarded (0 = Guardian disabled).
+	MemoryBudgetBytes int
+
+	// Ablation switches. These disable individual HyFD design decisions so
+	// the benchmark suite can quantify their contribution; none of them
+	// affects the discovered FD set.
+
+	// UnfocusedSampling turns off the cluster sortation of Fig. 3(1):
+	// windows slide over clusters in raw record order.
+	UnfocusedSampling bool
+	// NoSuggestions stops Phase 2 from feeding violating record pairs back
+	// into Phase 1.
+	NoSuggestions bool
+	// IntersectionValidation replaces the direct refinement checks of §8
+	// with TANE-style hierarchical PLI intersections.
+	IntersectionValidation bool
+}
+
+// Stats reports telemetry of one discovery run, mirroring the quantities
+// the paper's evaluation discusses.
+type Stats struct {
+	Rows, Cols int
+	// FDCount is the number of minimal FDs found.
+	FDCount int
+	// PhaseSwitches counts returns from Phase 2 into Phase 1; the paper
+	// reports three to eight on typical datasets.
+	PhaseSwitches int
+	// SamplingRounds counts Sampler invocations (PhaseSwitches + 1).
+	SamplingRounds int
+	// Comparisons is the total number of record-pair comparisons.
+	Comparisons int64
+	// Validations is the number of FDTree node validations.
+	Validations int64
+	// Observations is the number of distinct FD-violations sampled.
+	Observations int
+	// Complete is false when the Guardian (or MaxLhsSize) pruned results;
+	// the output then contains exactly the minimal FDs with LHS size up to
+	// MaxLhs.
+	Complete bool
+	// MaxLhs is the final LHS bound (== Cols when unbounded).
+	MaxLhs int
+}
+
+// Discover runs HyFD on the relation and returns all minimal, non-trivial
+// functional dependencies along with run telemetry.
+func Discover(rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
+	if rel == nil {
+		return nil, nil, errors.New("hyfd: nil relation")
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{Rows: rel.NumRows(), Cols: rel.NumCols(), Complete: true}
+	if rel.NumCols() == 0 {
+		stats.MaxLhs = 0
+		return fd.NewSet(0), stats, nil
+	}
+
+	// Preprocessor (Alg. 1).
+	ix := pli.NewIndex(rel, cfg.NullSemantics)
+
+	smp := sampler.New(ix, cfg.EfficiencyThreshold)
+	smp.SetUnfocused(cfg.UnfocusedSampling)
+	smp.SetThreads(cfg.Threads)
+	ind := inductor.New(ix.NumCols)
+	if cfg.MaxLhsSize > 0 && cfg.MaxLhsSize < ix.NumCols {
+		ind.Tree().SetMaxLhs(cfg.MaxLhsSize)
+		stats.Complete = false
+	}
+	vopts := []validator.Option{validator.WithThreads(cfg.Threads)}
+	if cfg.EfficiencyThreshold > 0 {
+		vopts = append(vopts, validator.WithInvalidThreshold(cfg.EfficiencyThreshold))
+	}
+	if cfg.IntersectionValidation {
+		vopts = append(vopts, validator.WithIntersectionValidation())
+	}
+	val := validator.New(ix, ind.Tree(), vopts...)
+	grd := guardian.New(ind.Tree(), cfg.MemoryBudgetBytes)
+
+	var suggestions []pli.Pair
+	for {
+		// Phase 1: focused sampling + induction.
+		newObs := smp.Run(suggestions)
+		stats.SamplingRounds++
+		ind.Update(newObs)
+		grd.Check()
+
+		// Phase 2: level-wise validation. If sampling produced nothing
+		// new, another switch back could not improve the approximation,
+		// so validate exhaustively to guarantee termination.
+		exhaustive := len(newObs) == 0
+		res := val.Run(exhaustive)
+		grd.Check()
+		if res.Done {
+			break
+		}
+		suggestions = res.Suggestions
+		if cfg.NoSuggestions {
+			suggestions = nil
+		}
+		stats.PhaseSwitches++
+	}
+
+	stats.Comparisons = smp.Comparisons
+	stats.Validations = val.Validations
+	stats.Observations = smp.ObservationCount()
+	stats.MaxLhs = ind.Tree().MaxLhs()
+	if grd.Pruned {
+		stats.Complete = false
+	}
+	fds := ind.Tree().FDs()
+	stats.FDCount = fds.Size()
+	return fds, stats, nil
+}

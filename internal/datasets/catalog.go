@@ -1,0 +1,229 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hyfd/internal/relation"
+)
+
+// profile builds a Config with a randomized but seeded column mixture,
+// the knob set the named analogs are tuned with.
+type profile struct {
+	rows        int
+	cols        int
+	seed        int64
+	keyCols     int     // leading unique columns (record ids)
+	derivedFrac float64 // fraction of non-key columns derived from earlier ones
+	hierFrac    float64 // fraction forming zip→city style hierarchies
+	noise       float64 // FD-breaking noise on derived/hierarchy columns
+	nullRate    float64 // fraction of nulls
+	domainLo    int     // categorical domain bounds (log-uniform draw)
+	domainHi    int
+	zipf        bool
+	// lowCardCols forces this many non-key columns to be low-cardinality
+	// categoricals (domain 2-20). Wide real-world tables mix near-unique
+	// and low-cardinality columns; the low-cardinality sub-lattice is what
+	// drives lattice-traversal algorithms into their limits.
+	lowCardCols int
+}
+
+func (p profile) build(name string) Config {
+	rng := rand.New(rand.NewSource(p.seed))
+	cols := make([]Column, p.cols)
+	logDomain := func() int {
+		lo, hi := float64(p.domainLo), float64(p.domainHi)
+		if hi <= lo {
+			return p.domainLo
+		}
+		// log-uniform between lo and hi
+		return int(lo * math.Pow(hi/lo, rng.Float64()))
+	}
+	lowCard := make(map[int]bool, p.lowCardCols)
+	for len(lowCard) < p.lowCardCols && len(lowCard) < p.cols-p.keyCols {
+		c := p.keyCols + rng.Intn(p.cols-p.keyCols)
+		lowCard[c] = true
+	}
+	for c := 0; c < p.cols; c++ {
+		switch {
+		case c < p.keyCols:
+			cols[c] = Column{Kind: Key}
+		case lowCard[c]:
+			cols[c] = Column{
+				Kind:     Categorical,
+				Domain:   2 + rng.Intn(19),
+				Zipf:     p.zipf && rng.Intn(2) == 0,
+				NullRate: p.nullRate,
+			}
+		case c > 0 && rng.Float64() < p.derivedFrac:
+			src := rng.Intn(c)
+			cols[c] = Column{
+				Kind:     Derived,
+				Src:      src,
+				Domain:   logDomain(),
+				Noise:    p.noise * rng.Float64(),
+				NullRate: p.nullRate,
+			}
+		case c > 0 && rng.Float64() < p.hierFrac:
+			src := rng.Intn(c)
+			cols[c] = Column{
+				Kind:     Hierarchy,
+				Src:      src,
+				Domain:   1 + logDomain()/4,
+				Noise:    p.noise * rng.Float64() / 2,
+				NullRate: p.nullRate,
+			}
+		default:
+			cols[c] = Column{
+				Kind:     Categorical,
+				Domain:   logDomain(),
+				Zipf:     p.zipf && rng.Intn(2) == 0,
+				NullRate: p.nullRate,
+			}
+		}
+	}
+	return Config{Name: name, Rows: p.rows, Seed: p.seed + 1, Columns: cols}
+}
+
+// Dataset describes one named analog of a paper dataset.
+type Dataset struct {
+	// Name matches the paper's dataset name (Tables 1 and 2).
+	Name string
+	// Cols and Rows are the paper's dimensions.
+	Cols, Rows int
+	// PaperFDs is the FD count the paper reports (-1 if unknown/truncated).
+	PaperFDs int
+	// Generate materializes the analog at a row scale; scale 1 reproduces
+	// the paper's dimensions (which can be large!), smaller scales shrink
+	// the instance and scales above 1 extend it (the row-scalability
+	// experiments sweep past some datasets' natural size).
+	Generate func(scale float64) *relation.Relation
+}
+
+// gen wraps a profile as a scalable generator.
+func gen(name string, cols, rows int, p profile) func(float64) *relation.Relation {
+	return func(scale float64) *relation.Relation {
+		pp := p
+		pp.rows = scaled(rows, scale)
+		pp.cols = cols
+		rel := Generate(pp.build(name))
+		rel.Name = name
+		return rel
+	}
+}
+
+func scaled(rows int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(rows) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Catalog returns the analogs of all datasets used in the paper's
+// evaluation (Table 1, Table 2, and the scalability figures), keyed in
+// paper order. Dimensions match the paper; FD structure is synthetic (see
+// the package comment).
+func Catalog() []Dataset {
+	ds := []Dataset{
+		{Name: "iris", Cols: 5, Rows: 150, PaperFDs: 4,
+			Generate: gen("iris", 5, 150, profile{seed: 11, derivedFrac: 0.5, domainLo: 3, domainHi: 30, noise: 0.08})},
+		{Name: "balance-scale", Cols: 5, Rows: 625, PaperFDs: 1,
+			Generate: gen("balance-scale", 5, 625, profile{seed: 12, domainLo: 3, domainHi: 6, noise: 0.5})},
+		{Name: "chess", Cols: 7, Rows: 28056, PaperFDs: 1,
+			Generate: gen("chess", 7, 28056, profile{seed: 13, domainLo: 2, domainHi: 18, noise: 0.6})},
+		{Name: "abalone", Cols: 9, Rows: 4177, PaperFDs: 137,
+			Generate: gen("abalone", 9, 4177, profile{seed: 14, derivedFrac: 0.35, domainLo: 3, domainHi: 900, noise: 0.25})},
+		{Name: "nursery", Cols: 9, Rows: 12960, PaperFDs: 1,
+			Generate: gen("nursery", 9, 12960, profile{seed: 15, domainLo: 2, domainHi: 5, noise: 0.5})},
+		{Name: "breast-cancer", Cols: 11, Rows: 699, PaperFDs: 46,
+			Generate: gen("breast-cancer", 11, 699, profile{seed: 16, keyCols: 1, derivedFrac: 0.25, domainLo: 2, domainHi: 11, noise: 0.35})},
+		{Name: "bridges", Cols: 13, Rows: 108, PaperFDs: 142,
+			Generate: gen("bridges", 13, 108, profile{seed: 17, keyCols: 1, derivedFrac: 0.3, hierFrac: 0.3, domainLo: 2, domainHi: 40, noise: 0.25, nullRate: 0.04})},
+		{Name: "echocardiogram", Cols: 13, Rows: 132, PaperFDs: 527,
+			Generate: gen("echocardiogram", 13, 132, profile{seed: 18, derivedFrac: 0.45, domainLo: 3, domainHi: 60, noise: 0.06, nullRate: 0.05})},
+		{Name: "adult", Cols: 14, Rows: 48842, PaperFDs: 78,
+			Generate: gen("adult", 14, 48842, profile{seed: 19, derivedFrac: 0.2, hierFrac: 0.3, domainLo: 2, domainHi: 90, noise: 0.3, zipf: true})},
+		{Name: "letter", Cols: 17, Rows: 20000, PaperFDs: 61,
+			Generate: gen("letter", 17, 20000, profile{seed: 20, domainLo: 8, domainHi: 16, noise: 0.4})},
+		{Name: "ncvoter", Cols: 19, Rows: 1000, PaperFDs: 758,
+			Generate: gen("ncvoter", 19, 1000, profile{seed: 101, keyCols: 1, derivedFrac: 0.9, hierFrac: 0.9, domainLo: 25, domainHi: 1000, nullRate: 0.03, zipf: true})},
+		{Name: "hepatitis", Cols: 20, Rows: 155, PaperFDs: 8250,
+			Generate: gen("hepatitis", 20, 155, profile{seed: 102, derivedFrac: 0.8, hierFrac: 0.7, domainLo: 4, domainHi: 40, noise: 0.02, nullRate: 0.06})},
+		{Name: "horse", Cols: 27, Rows: 368, PaperFDs: 128727,
+			Generate: gen("horse", 27, 368, profile{seed: 102, derivedFrac: 0.75, hierFrac: 0.7, domainLo: 4, domainHi: 80, noise: 0.02, nullRate: 0.08})},
+		{Name: "fd-reduced-30", Cols: 30, Rows: 250000, PaperFDs: 89571,
+			Generate: func(scale float64) *relation.Relation {
+				rel := FDReduced(scaled(250000, scale), 30, 0, 24)
+				rel.Name = "fd-reduced-30"
+				return rel
+			}},
+		{Name: "plista", Cols: 63, Rows: 1000, PaperFDs: 178152,
+			Generate: gen("plista", 63, 1000, profile{seed: 100, keyCols: 1, derivedFrac: 0.45, domainLo: 30000, domainHi: 100000, lowCardCols: 6, nullRate: 0.03})},
+		{Name: "flight", Cols: 109, Rows: 1000, PaperFDs: 982631,
+			Generate: gen("flight", 109, 1000, profile{seed: 100, keyCols: 1, derivedFrac: 0.5, domainLo: 30000, domainHi: 100000, lowCardCols: 8, nullRate: 0.03})},
+		{Name: "uniprot", Cols: 223, Rows: 1000, PaperFDs: -1, // > 2.4 M, truncated in the paper
+			Generate: gen("uniprot", 223, 1000, profile{seed: 100, keyCols: 1, derivedFrac: 0.5, domainLo: 30000, domainHi: 100000, lowCardCols: 5, nullRate: 0.03})},
+	}
+	return ds
+}
+
+// Large returns the Table 2 datasets (the ones "never analyzed for FDs
+// before"), with paper dimensions; generated at a scale in (0,1].
+func Large() []Dataset {
+	return []Dataset{
+		{Name: "TPC-H.lineitem", Cols: 16, Rows: 6_000_000, PaperFDs: 4000,
+			Generate: gen("TPC-H.lineitem", 16, 6_000_000, profile{seed: 31, keyCols: 1, derivedFrac: 0.4, domainLo: 20000, domainHi: 80000, lowCardCols: 5})},
+		{Name: "PDB.POLY_SEQ", Cols: 13, Rows: 17_000_000, PaperFDs: 68,
+			Generate: gen("PDB.POLY_SEQ", 13, 17_000_000, profile{seed: 32, keyCols: 1, derivedFrac: 0.5, domainLo: 20000, domainHi: 80000, lowCardCols: 3})},
+		{Name: "PDB.ATOM_SITE", Cols: 31, Rows: 27_000_000, PaperFDs: 10000,
+			Generate: gen("PDB.ATOM_SITE", 31, 27_000_000, profile{seed: 33, keyCols: 1, derivedFrac: 0.45, domainLo: 20000, domainHi: 80000, lowCardCols: 3})},
+		{Name: "SAP_R3.ZBC00DT", Cols: 35, Rows: 3_000_000, PaperFDs: 211,
+			Generate: gen("SAP_R3.ZBC00DT", 35, 3_000_000, profile{seed: 34, keyCols: 1, derivedFrac: 0.5, domainLo: 20000, domainHi: 80000, lowCardCols: 4, nullRate: 0.03})},
+		{Name: "SAP_R3.ILOA", Cols: 48, Rows: 45_000_000, PaperFDs: 16000,
+			Generate: gen("SAP_R3.ILOA", 48, 45_000_000, profile{seed: 35, keyCols: 1, derivedFrac: 0.5, domainLo: 20000, domainHi: 80000, lowCardCols: 3, nullRate: 0.03})},
+		{Name: "SAP_R3.CE4HI01", Cols: 65, Rows: 2_000_000, PaperFDs: 2000,
+			Generate: gen("SAP_R3.CE4HI01", 65, 2_000_000, profile{seed: 36, keyCols: 1, derivedFrac: 0.5, domainLo: 20000, domainHi: 80000, lowCardCols: 3, nullRate: 0.03})},
+		{Name: "NCVoter.statewide", Cols: 71, Rows: 1_000_000, PaperFDs: 5_000_000,
+			Generate: gen("NCVoter.statewide", 71, 1_000_000, profile{seed: 37, keyCols: 1, derivedFrac: 0.45, domainLo: 30000, domainHi: 100000, lowCardCols: 4, nullRate: 0.03})},
+		{Name: "CD.cd", Cols: 107, Rows: 10_000, PaperFDs: 36000,
+			Generate: gen("CD.cd", 107, 10_000, profile{seed: 38, keyCols: 1, derivedFrac: 0.5, domainLo: 30000, domainHi: 100000, lowCardCols: 2, nullRate: 0.03})},
+	}
+}
+
+// ByName returns the named dataset analog from Catalog() or Large().
+func ByName(name string) (Dataset, error) {
+	for _, d := range append(Catalog(), Large()...) {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q (known: %v)", name, Names())
+}
+
+// Names lists all catalog dataset names.
+func Names() []string {
+	var names []string
+	for _, d := range append(Catalog(), Large()...) {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GenProfile exposes the profile knobs for tuning experiments (used by the
+// internal fdscan tool and tests).
+func GenProfile(rows, cols int, seed int64, keyCols int, derivedFrac, hierFrac, noise, nullRate float64, domainLo, domainHi, lowCardCols int) *relation.Relation {
+	p := profile{
+		rows: rows, cols: cols, seed: seed, keyCols: keyCols,
+		derivedFrac: derivedFrac, hierFrac: hierFrac, noise: noise,
+		nullRate: nullRate, domainLo: domainLo, domainHi: domainHi,
+		lowCardCols: lowCardCols,
+	}
+	return Generate(p.build(fmt.Sprintf("profile-%d", seed)))
+}

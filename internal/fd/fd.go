@@ -1,0 +1,158 @@
+// Package fd defines the functional dependency model shared by all discovery
+// algorithms: the FD value type, canonical FD sets, minimization, and a
+// brute-force reference discoverer used to cross-validate every algorithm in
+// the test suite.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/relation"
+)
+
+// FD is a functional dependency Lhs → Rhs over a fixed attribute universe.
+// Rhs is a single attribute index; X → YZ is represented as two FDs.
+type FD struct {
+	Lhs bitset.Set
+	Rhs int
+}
+
+// String renders the FD using attribute indices, e.g. "{0,2} -> 1".
+func (f FD) String() string {
+	return fmt.Sprintf("%s -> %d", f.Lhs.String(), f.Rhs)
+}
+
+// Format renders the FD using the relation's column names.
+func (f FD) Format(rel *relation.Relation) string {
+	names := make([]string, 0, f.Lhs.Cardinality())
+	f.Lhs.ForEach(func(i int) bool {
+		names = append(names, rel.Columns[i])
+		return true
+	})
+	return fmt.Sprintf("[%s] -> %s", strings.Join(names, ","), rel.Columns[f.Rhs])
+}
+
+// key identifies an FD uniquely within one universe.
+func (f FD) key() string {
+	return f.Lhs.Key() + "\x00" + fmt.Sprint(f.Rhs)
+}
+
+// Set is a collection of distinct FDs over one attribute universe.
+type Set struct {
+	fds  []FD
+	seen map[string]struct{}
+	n    int // universe size
+}
+
+// NewSet returns an empty FD set over a universe of n attributes.
+func NewSet(n int) *Set {
+	return &Set{seen: make(map[string]struct{}), n: n}
+}
+
+// Universe returns the attribute universe size.
+func (s *Set) Universe() int { return s.n }
+
+// Add inserts the FD if not already present; it reports whether it was new.
+func (s *Set) Add(f FD) bool {
+	k := f.key()
+	if _, dup := s.seen[k]; dup {
+		return false
+	}
+	s.seen[k] = struct{}{}
+	s.fds = append(s.fds, f)
+	return true
+}
+
+// Contains reports whether the exact FD is in the set.
+func (s *Set) Contains(f FD) bool {
+	_, ok := s.seen[f.key()]
+	return ok
+}
+
+// Size returns the number of FDs.
+func (s *Set) Size() int { return len(s.fds) }
+
+// All returns the FDs in canonical order: ascending by RHS, then ascending
+// LHS cardinality, then lexicographic LHS. The returned slice is fresh.
+func (s *Set) All() []FD {
+	out := append([]FD(nil), s.fds...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rhs != out[j].Rhs {
+			return out[i].Rhs < out[j].Rhs
+		}
+		ci, cj := out[i].Lhs.Cardinality(), out[j].Lhs.Cardinality()
+		if ci != cj {
+			return ci < cj
+		}
+		return out[i].Lhs.Key() < out[j].Lhs.Key()
+	})
+	return out
+}
+
+// Equal reports whether both sets contain exactly the same FDs.
+func (s *Set) Equal(t *Set) bool {
+	if s.Size() != t.Size() {
+		return false
+	}
+	for k := range s.seen {
+		if _, ok := t.seen[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns FDs present in s but not in t, in canonical order.
+func (s *Set) Diff(t *Set) []FD {
+	var out []FD
+	for _, f := range s.All() {
+		if !t.Contains(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Minimize returns the subset of s whose FDs have no valid generalization
+// inside s: f is dropped iff some g in s has g.Rhs == f.Rhs and
+// g.Lhs ⊂ f.Lhs.
+func (s *Set) Minimize() *Set {
+	byRhs := make(map[int][]FD)
+	for _, f := range s.fds {
+		byRhs[f.Rhs] = append(byRhs[f.Rhs], f)
+	}
+	out := NewSet(s.n)
+	for _, group := range byRhs {
+		sort.Slice(group, func(i, j int) bool {
+			return group[i].Lhs.Cardinality() < group[j].Lhs.Cardinality()
+		})
+		var kept []FD
+		for _, f := range group {
+			minimal := true
+			for _, g := range kept {
+				if g.Lhs.IsProperSubsetOf(f.Lhs) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				kept = append(kept, f)
+				out.Add(f)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the set in canonical order, one FD per line.
+func (s *Set) String() string {
+	var sb strings.Builder
+	for _, f := range s.All() {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

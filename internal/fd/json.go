@@ -1,0 +1,65 @@
+package fd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/relation"
+)
+
+// jsonFD is the serialized form of one FD, resembling the result format of
+// the Metanome profiling platform the paper's implementations target:
+// determinant column names plus the dependent column name.
+type jsonFD struct {
+	Determinant []string `json:"determinant"`
+	Dependant   string   `json:"dependant"`
+}
+
+// WriteJSON serializes the set in canonical order as a JSON array of
+// {determinant, dependant} objects using the relation's column names.
+func (s *Set) WriteJSON(w io.Writer, rel *relation.Relation) error {
+	out := make([]jsonFD, 0, s.Size())
+	for _, f := range s.All() {
+		det := make([]string, 0, f.Lhs.Cardinality())
+		f.Lhs.ForEach(func(a int) bool {
+			det = append(det, rel.Columns[a])
+			return true
+		})
+		out = append(out, jsonFD{Determinant: det, Dependant: rel.Columns[f.Rhs]})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a JSON FD listing produced by WriteJSON back into a Set,
+// resolving column names against the relation's schema.
+func ReadJSON(r io.Reader, rel *relation.Relation) (*Set, error) {
+	var in []jsonFD
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	colIdx := make(map[string]int, rel.NumCols())
+	for i, c := range rel.Columns {
+		colIdx[c] = i
+	}
+	out := NewSet(rel.NumCols())
+	for _, jf := range in {
+		lhs := bitset.New(rel.NumCols())
+		for _, name := range jf.Determinant {
+			a, ok := colIdx[name]
+			if !ok {
+				return nil, fmt.Errorf("fd: unknown determinant column %q in relation %q", name, rel.Name)
+			}
+			lhs.Set(a)
+		}
+		rhs, ok := colIdx[jf.Dependant]
+		if !ok {
+			return nil, fmt.Errorf("fd: unknown dependant column %q in relation %q", jf.Dependant, rel.Name)
+		}
+		out.Add(FD{Lhs: lhs, Rhs: rhs})
+	}
+	return out, nil
+}

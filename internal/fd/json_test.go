@@ -1,0 +1,83 @@
+package fd
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/relation"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	rel := relation.New("t", []string{"A", "B", "C"})
+	s := NewSet(3)
+	s.Add(FD{Lhs: bitset.New(3), Rhs: 0})
+	s.Add(FD{Lhs: bitset.FromIndices(3, 0, 2), Rhs: 1})
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dependant": "B"`) {
+		t.Fatalf("unexpected JSON:\n%s", buf.String())
+	}
+	back, err := ReadJSON(&buf, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", back, s)
+	}
+}
+
+func TestJSONQuickRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(5)
+		cols := make([]string, n)
+		for i := range cols {
+			cols[i] = "col" + strconv.Itoa(i)
+		}
+		rel := relation.New("t", cols)
+		s := NewSet(n)
+		for k := 0; k < r.Intn(10); k++ {
+			lhs := bitset.New(n)
+			for a := 0; a < n; a++ {
+				if r.Intn(3) == 0 {
+					lhs.Set(a)
+				}
+			}
+			rhs := r.Intn(n)
+			if lhs.Test(rhs) {
+				continue
+			}
+			s.Add(FD{Lhs: lhs, Rhs: rhs})
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf, rel); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadJSON(&buf, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("trial %d roundtrip mismatch", trial)
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	rel := relation.New("t", []string{"A"})
+	if _, err := ReadJSON(strings.NewReader("not json"), rel); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"determinant":["X"],"dependant":"A"}]`), rel); err == nil {
+		t.Fatal("unknown determinant accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"determinant":[],"dependant":"X"}]`), rel); err == nil {
+		t.Fatal("unknown dependant accepted")
+	}
+}

@@ -1,0 +1,352 @@
+package fdtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/fd"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	tr := New(5)
+	lhs := bitset.FromIndices(5, 0, 2)
+	if !tr.Add(lhs, 3) {
+		t.Fatal("fresh add should be true")
+	}
+	if tr.Add(lhs, 3) {
+		t.Fatal("duplicate add should be false")
+	}
+	if !tr.ContainsFd(lhs, 3) {
+		t.Fatal("ContainsFd false negative")
+	}
+	if tr.ContainsFd(lhs, 4) || tr.ContainsFd(bitset.FromIndices(5, 0), 3) {
+		t.Fatal("ContainsFd false positive")
+	}
+	if !tr.Remove(lhs, 3) {
+		t.Fatal("Remove of present FD failed")
+	}
+	if tr.Remove(lhs, 3) {
+		t.Fatal("Remove of absent FD succeeded")
+	}
+	if tr.ContainsFd(lhs, 3) {
+		t.Fatal("FD survives removal")
+	}
+	if tr.CountFDs() != 0 {
+		t.Fatalf("CountFDs = %d after removal", tr.CountFDs())
+	}
+	if tr.NodeCount() != 1 { // only root should remain after pruning
+		t.Fatalf("NodeCount = %d, want 1", tr.NodeCount())
+	}
+}
+
+func TestEmptyLhsFd(t *testing.T) {
+	tr := New(3)
+	empty := bitset.New(3)
+	tr.Add(empty, 1)
+	if !tr.ContainsFd(empty, 1) {
+		t.Fatal("∅ → 1 not stored")
+	}
+	if !tr.FindFdOrGeneral(bitset.FromIndices(3, 0, 2), 1) {
+		t.Fatal("∅ → 1 must generalize any LHS")
+	}
+	if !tr.Remove(empty, 1) || tr.ContainsFd(empty, 1) {
+		t.Fatal("∅ → 1 removal broken")
+	}
+}
+
+func TestFindFdOrGeneral(t *testing.T) {
+	tr := New(6)
+	tr.Add(bitset.FromIndices(6, 1, 3), 5)
+	cases := []struct {
+		lhs  []int
+		want bool
+	}{
+		{[]int{1, 3}, true},       // the FD itself
+		{[]int{1, 2, 3}, true},    // superset
+		{[]int{0, 1, 3, 4}, true}, // superset
+		{[]int{1}, false},         // proper subset
+		{[]int{3}, false},
+		{[]int{1, 2}, false}, // incomparable
+		{[]int{}, false},
+	}
+	for _, c := range cases {
+		got := tr.FindFdOrGeneral(bitset.FromIndices(6, c.lhs...), 5)
+		if got != c.want {
+			t.Fatalf("FindFdOrGeneral(%v, 5) = %v, want %v", c.lhs, got, c.want)
+		}
+	}
+	if tr.FindFdOrGeneral(bitset.FromIndices(6, 1, 2, 3), 4) {
+		t.Fatal("wrong RHS matched")
+	}
+}
+
+func TestGetFdAndGenerals(t *testing.T) {
+	tr := New(6)
+	tr.Add(bitset.FromIndices(6, 1), 5)
+	tr.Add(bitset.FromIndices(6, 1, 3), 5) // non-minimal on purpose
+	tr.Add(bitset.FromIndices(6, 2), 5)
+	tr.Add(bitset.FromIndices(6, 4), 5) // not ⊆ query
+	tr.Add(bitset.FromIndices(6, 1), 4) // wrong RHS
+	got := tr.GetFdAndGenerals(bitset.FromIndices(6, 1, 2, 3), 5)
+	if len(got) != 3 {
+		t.Fatalf("GetFdAndGenerals returned %d LHSs: %v", len(got), got)
+	}
+	want := map[string]bool{
+		bitset.FromIndices(6, 1).Key():    true,
+		bitset.FromIndices(6, 1, 3).Key(): true,
+		bitset.FromIndices(6, 2).Key():    true,
+	}
+	for _, l := range got {
+		if !want[l.Key()] {
+			t.Fatalf("unexpected LHS %v", l)
+		}
+	}
+}
+
+func TestGetLevelAndChildren(t *testing.T) {
+	tr := New(5)
+	tr.Add(bitset.New(5), 0)
+	tr.Add(bitset.FromIndices(5, 1), 2)
+	tr.Add(bitset.FromIndices(5, 3), 2)
+	tr.Add(bitset.FromIndices(5, 1, 3), 4)
+	l0 := tr.GetLevel(0)
+	if len(l0) != 1 || !l0[0].Lhs.IsEmpty() {
+		t.Fatalf("level 0 = %v", l0)
+	}
+	l1 := tr.GetLevel(1)
+	if len(l1) != 2 {
+		t.Fatalf("level 1 has %d nodes", len(l1))
+	}
+	l2 := tr.GetLevel(2)
+	if len(l2) != 1 || l2[0].Lhs.Cardinality() != 2 {
+		t.Fatalf("level 2 = %v", l2)
+	}
+	// Children of the {1} node must include {1,3}.
+	var node1 Node
+	for _, nd := range l1 {
+		if nd.Lhs.Test(1) {
+			node1 = nd
+		}
+	}
+	kids := node1.Children()
+	if len(kids) != 1 || !kids[0].Lhs.Equal(bitset.FromIndices(5, 1, 3)) {
+		t.Fatalf("children of {1} = %v", kids)
+	}
+	if !kids[0].RhsFds().Test(4) {
+		t.Fatal("child rhsFds lost")
+	}
+}
+
+func TestSetFds(t *testing.T) {
+	tr := New(4)
+	lhs := bitset.FromIndices(4, 0)
+	tr.Add(lhs, 1)
+	tr.Add(lhs, 2)
+	nd := tr.GetLevel(1)[0]
+	valid := bitset.FromIndices(4, 2)
+	nd.SetFds(valid)
+	if tr.ContainsFd(lhs, 1) || !tr.ContainsFd(lhs, 2) {
+		t.Fatal("SetFds did not replace the marked RHSs")
+	}
+	// Lookups must stay correct even with stale subtree summaries.
+	if tr.FindFdOrGeneral(bitset.FromIndices(4, 0, 3), 1) {
+		t.Fatal("stale summary produced a false positive")
+	}
+}
+
+func TestAddAndGetIfNew(t *testing.T) {
+	tr := New(4)
+	lhs := bitset.FromIndices(4, 1, 2)
+	nd, ok := tr.AddAndGetIfNew(lhs, 3)
+	if !ok || !nd.Lhs.Equal(lhs) || !nd.RhsFds().Test(3) {
+		t.Fatal("AddAndGetIfNew on fresh FD broken")
+	}
+	if _, ok := tr.AddAndGetIfNew(lhs, 3); ok {
+		t.Fatal("AddAndGetIfNew on duplicate should fail")
+	}
+	// Same node, different RHS: still returns the node.
+	nd2, ok := tr.AddAndGetIfNew(lhs, 0)
+	if !ok || !nd2.RhsFds().Test(0) || !nd2.RhsFds().Test(3) {
+		t.Fatal("AddAndGetIfNew with second RHS broken")
+	}
+}
+
+func TestMaxLhsPruning(t *testing.T) {
+	tr := New(6)
+	tr.Add(bitset.FromIndices(6, 0), 5)
+	tr.Add(bitset.FromIndices(6, 0, 1), 5)
+	tr.Add(bitset.FromIndices(6, 0, 1, 2), 5)
+	tr.Add(bitset.FromIndices(6, 1, 2, 3), 4)
+	before := tr.CountFDs()
+	if before != 4 {
+		t.Fatalf("setup CountFDs = %d", before)
+	}
+	tr.SetMaxLhs(2)
+	if tr.CountFDs() != 2 {
+		t.Fatalf("after SetMaxLhs(2): CountFDs = %d, want 2", tr.CountFDs())
+	}
+	if tr.ContainsFd(bitset.FromIndices(6, 0, 1, 2), 5) {
+		t.Fatal("deep FD survived pruning")
+	}
+	if !tr.ContainsFd(bitset.FromIndices(6, 0, 1), 5) {
+		t.Fatal("shallow FD lost by pruning")
+	}
+	// New deep adds must be refused.
+	if tr.Add(bitset.FromIndices(6, 1, 2, 3), 0) {
+		t.Fatal("Add beyond maxLhs accepted")
+	}
+	if _, ok := tr.AddAndGetIfNew(bitset.FromIndices(6, 1, 2, 3), 0); ok {
+		t.Fatal("AddAndGetIfNew beyond maxLhs accepted")
+	}
+	if tr.MaxLhs() != 2 {
+		t.Fatalf("MaxLhs = %d", tr.MaxLhs())
+	}
+}
+
+func TestFDsRoundTrip(t *testing.T) {
+	tr := New(5)
+	want := fd.NewSet(5)
+	add := func(lhs bitset.Set, rhs int) {
+		tr.Add(lhs, rhs)
+		want.Add(fd.FD{Lhs: lhs, Rhs: rhs})
+	}
+	add(bitset.New(5), 4)
+	add(bitset.FromIndices(5, 0), 1)
+	add(bitset.FromIndices(5, 0, 2), 3)
+	add(bitset.FromIndices(5, 1, 2, 3), 0)
+	got := tr.FDs()
+	if !got.Equal(want) {
+		t.Fatalf("FDs roundtrip:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if tr.CountFDs() != want.Size() {
+		t.Fatalf("CountFDs = %d, want %d", tr.CountFDs(), want.Size())
+	}
+}
+
+func TestApproxBytesGrows(t *testing.T) {
+	tr := New(8)
+	base := tr.ApproxBytes()
+	tr.Add(bitset.FromIndices(8, 0, 1, 2, 3), 7)
+	if tr.ApproxBytes() <= base {
+		t.Fatal("ApproxBytes did not grow with nodes")
+	}
+}
+
+// TestQuickTreeMatchesNaive compares the tree against a naive FD store on
+// random add/remove/lookup workloads.
+func TestQuickTreeMatchesNaive(t *testing.T) {
+	const n = 8
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(n)
+		naive := make(map[string]bitset.Set) // key → lhs, per (lhs,rhs) pair
+		randLhs := func() bitset.Set {
+			s := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if r.Intn(3) == 0 {
+					s.Set(i)
+				}
+			}
+			return s
+		}
+		for op := 0; op < 120; op++ {
+			lhs := randLhs()
+			rhs := r.Intn(n)
+			key := lhs.Key() + "|" + string(rune(rhs))
+			switch r.Intn(3) {
+			case 0: // add
+				_, present := naive[key]
+				if tr.Add(lhs, rhs) != !present {
+					return false
+				}
+				naive[key] = lhs
+			case 1: // remove
+				_, present := naive[key]
+				if tr.Remove(lhs, rhs) != present {
+					return false
+				}
+				delete(naive, key)
+			default: // lookups
+				_, present := naive[key]
+				if tr.ContainsFd(lhs, rhs) != present {
+					return false
+				}
+				// Generalization ground truth: scan all stored FDs.
+				wantGen := false
+				var wantGenerals int
+				for k, l := range naive {
+					storedRhs := int(k[len(k)-1])
+					if storedRhs == rhs && l.IsSubsetOf(lhs) {
+						wantGen = true
+						wantGenerals++
+					}
+				}
+				if tr.FindFdOrGeneral(lhs, rhs) != wantGen {
+					return false
+				}
+				if len(tr.GetFdAndGenerals(lhs, rhs)) != wantGenerals {
+					return false
+				}
+			}
+			if tr.CountFDs() != len(naive) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFindFdOrGeneral(b *testing.B) {
+	const n = 32
+	r := rand.New(rand.NewSource(3))
+	tr := New(n)
+	for i := 0; i < 2000; i++ {
+		s := bitset.New(n)
+		for j := 0; j < n; j++ {
+			if r.Intn(6) == 0 {
+				s.Set(j)
+			}
+		}
+		tr.Add(s, r.Intn(n))
+	}
+	query := bitset.New(n)
+	for j := 0; j < n; j += 2 {
+		query.Set(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.FindFdOrGeneral(query, i%n)
+	}
+}
+
+func BenchmarkAddRemove(b *testing.B) {
+	const n = 24
+	r := rand.New(rand.NewSource(5))
+	var lhss []bitset.Set
+	for i := 0; i < 1000; i++ {
+		s := bitset.New(n)
+		for j := 0; j < n; j++ {
+			if r.Intn(5) == 0 {
+				s.Set(j)
+			}
+		}
+		lhss = append(lhss, s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(n)
+		for k, lhs := range lhss {
+			tr.Add(lhs, k%n)
+		}
+		for k, lhs := range lhss {
+			tr.Remove(lhs, k%n)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package guardian
+
+import (
+	"testing"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/fdtree"
+)
+
+// fill inserts FDs with LHS sizes 1..depth into the tree.
+func fill(tree *fdtree.Tree, depth int) {
+	n := tree.NumAttrs()
+	for d := 1; d <= depth; d++ {
+		for start := 0; start+d < n; start++ {
+			lhs := bitset.New(n)
+			for k := 0; k < d; k++ {
+				lhs.Set(start + k)
+			}
+			tree.Add(lhs, n-1)
+		}
+	}
+}
+
+func TestDisabledGuardianNeverPrunes(t *testing.T) {
+	tree := fdtree.New(10)
+	fill(tree, 6)
+	g := New(tree, 0)
+	before := tree.CountFDs()
+	g.Check()
+	if g.Pruned || tree.CountFDs() != before {
+		t.Fatal("disabled guardian intervened")
+	}
+}
+
+func TestGuardianPrunesUnderPressure(t *testing.T) {
+	tree := fdtree.New(10)
+	fill(tree, 8)
+	budget := tree.ApproxBytes() / 4
+	g := New(tree, budget)
+	g.Check()
+	if !g.Pruned || g.Interventions == 0 {
+		t.Fatal("guardian did not intervene under pressure")
+	}
+	if tree.ApproxBytes() > budget && tree.Depth() > 1 {
+		t.Fatalf("still over budget (%d > %d) with depth %d",
+			tree.ApproxBytes(), budget, tree.Depth())
+	}
+	// Shallow FDs must survive.
+	if !tree.ContainsFd(bitset.FromIndices(10, 0), 9) {
+		t.Fatal("depth-1 FD lost")
+	}
+	if g.MaxLhs() >= 8 {
+		t.Fatalf("MaxLhs = %d, want < 8", g.MaxLhs())
+	}
+}
+
+func TestGuardianStopsAtDepthOne(t *testing.T) {
+	tree := fdtree.New(64)
+	for a := 0; a < 63; a++ {
+		tree.Add(bitset.FromIndices(64, a), 63)
+	}
+	g := New(tree, 1) // impossible budget
+	g.Check()
+	// Must terminate and keep the single-attribute FDs.
+	if tree.CountFDs() != 63 {
+		t.Fatalf("CountFDs = %d, want 63", tree.CountFDs())
+	}
+}
+
+func TestGuardianIdempotentWhenUnderBudget(t *testing.T) {
+	tree := fdtree.New(8)
+	fill(tree, 3)
+	g := New(tree, tree.ApproxBytes()*10)
+	g.Check()
+	g.Check()
+	if g.Pruned || g.Interventions != 0 {
+		t.Fatal("guardian intervened under generous budget")
+	}
+}

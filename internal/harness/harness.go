@@ -1,0 +1,181 @@
+// Package harness executes and measures FD discovery runs for the
+// reproduction of the paper's evaluation section (§10): per-run wall-clock
+// timing, peak-heap sampling, FD counting, and the job definitions for
+// every table and figure. The cmd/bench binary drives these jobs (in
+// subprocesses, so timeouts and peak RSS are real); bench_test.go runs
+// scaled-down in-process variants.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hyfd/internal/algorithms"
+	"hyfd/internal/algorithms/depminer"
+	"hyfd/internal/algorithms/dfd"
+	"hyfd/internal/algorithms/fastfds"
+	"hyfd/internal/algorithms/fdep"
+	"hyfd/internal/algorithms/fdmine"
+	"hyfd/internal/algorithms/fun"
+	"hyfd/internal/algorithms/tane"
+	"hyfd/internal/core"
+	"hyfd/internal/datasets"
+	"hyfd/internal/relation"
+)
+
+// HyFDName is the display name of the paper's algorithm in result tables.
+const HyFDName = "HyFD"
+
+// AlgorithmNames lists the evaluation's algorithm column order (Table 1).
+var AlgorithmNames = []string{
+	"Tane", "Fun", "FD_Mine", "Dfd", "Dep-Miner", "FastFDs", "Fdep", HyFDName,
+}
+
+// baselines instantiates the comparison algorithms by name.
+func baselines() map[string]algorithms.Algorithm {
+	return map[string]algorithms.Algorithm{
+		"Tane":      tane.New(),
+		"Fun":       fun.New(),
+		"FD_Mine":   fdmine.New(),
+		"Dfd":       dfd.New(1),
+		"Dep-Miner": depminer.New(),
+		"FastFDs":   fastfds.New(),
+		"Fdep":      fdep.New(),
+	}
+}
+
+// Spec describes one measurement job.
+type Spec struct {
+	// Algorithm is one of AlgorithmNames.
+	Algorithm string `json:"algorithm"`
+	// Dataset is a datasets.ByName key.
+	Dataset string `json:"dataset"`
+	// Rows caps the generated row count (0 = the dataset's full size).
+	Rows int `json:"rows,omitempty"`
+	// Cols projects to the first Cols columns (0 = all).
+	Cols int `json:"cols,omitempty"`
+	// Threads applies to HyFD only.
+	Threads int `json:"threads,omitempty"`
+	// Threshold overrides HyFD's efficiency threshold (0 = default).
+	Threshold float64 `json:"threshold,omitempty"`
+	// MaxLhs bounds result LHS sizes (HyFD only); the paper uses this via
+	// the Guardian for uniprot, whose complete result is too large to
+	// store (§10.4).
+	MaxLhs int `json:"max_lhs,omitempty"`
+}
+
+// Result is the outcome of one measurement job.
+type Result struct {
+	Spec     Spec    `json:"spec"`
+	Seconds  float64 `json:"seconds"`
+	FDs      int     `json:"fds"`
+	PeakHeap uint64  `json:"peak_heap"`
+	// Switches is HyFD's phase-switch count (Fig. 8), -1 for baselines.
+	Switches int    `json:"switches"`
+	Err      string `json:"err,omitempty"`
+	// TimedOut / MemExceeded are set by the subprocess driver, never by
+	// ExecuteInProcess.
+	TimedOut    bool `json:"timed_out,omitempty"`
+	MemExceeded bool `json:"mem_exceeded,omitempty"`
+}
+
+// Materialize generates the relation a spec runs against.
+func Materialize(spec Spec) (*relation.Relation, error) {
+	d, err := datasets.ByName(spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	scale := 1.0
+	if spec.Rows > 0 {
+		scale = float64(spec.Rows) / float64(d.Rows)
+	}
+	rel := d.Generate(scale)
+	if spec.Rows > 0 && rel.NumRows() > spec.Rows {
+		rel = rel.Head(spec.Rows)
+		rel.Name = d.Name
+	}
+	if spec.Cols > 0 && spec.Cols < rel.NumCols() {
+		rel = rel.Project(spec.Cols)
+		rel.Name = d.Name
+	}
+	return rel, nil
+}
+
+// ExecuteInProcess materializes the spec's dataset and measures the run in
+// the current process. Dataset generation time is excluded; peak heap is
+// sampled concurrently.
+func ExecuteInProcess(spec Spec) Result {
+	rel, err := Materialize(spec)
+	if err != nil {
+		return Result{Spec: spec, Switches: -1, Err: err.Error()}
+	}
+	return Measure(spec, rel)
+}
+
+// Measure runs the spec's algorithm against an already-materialized
+// relation.
+func Measure(spec Spec, rel *relation.Relation) Result {
+	res := Result{Spec: spec, Switches: -1}
+
+	runtime.GC()
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		var ms runtime.MemStats
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	if spec.Algorithm == HyFDName {
+		set, stats, err := core.Discover(rel, core.Config{
+			Threads:             spec.Threads,
+			EfficiencyThreshold: spec.Threshold,
+			MaxLhsSize:          spec.MaxLhs,
+		})
+		res.Seconds = time.Since(start).Seconds()
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.FDs = set.Size()
+			res.Switches = stats.PhaseSwitches
+		}
+	} else {
+		alg, ok := baselines()[spec.Algorithm]
+		if !ok {
+			res.Err = fmt.Sprintf("unknown algorithm %q", spec.Algorithm)
+		} else {
+			set, err := alg.Discover(rel, relation.NullEqualsNull)
+			res.Seconds = time.Since(start).Seconds()
+			if err != nil {
+				res.Err = err.Error()
+			} else {
+				res.FDs = set.Size()
+			}
+		}
+	}
+	close(stop)
+	<-samplerDone
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak.Load() {
+		peak.Store(ms.HeapAlloc)
+	}
+	res.PeakHeap = peak.Load()
+	return res
+}

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyfd/internal/fd"
+	"hyfd/internal/relation"
+)
+
+func TestExecuteInProcessHyFD(t *testing.T) {
+	res := ExecuteInProcess(Spec{Algorithm: HyFDName, Dataset: "ncvoter", Rows: 300})
+	if res.Err != "" {
+		t.Fatalf("err: %s", res.Err)
+	}
+	if res.FDs <= 0 || res.Seconds < 0 || res.PeakHeap == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Switches < 0 {
+		t.Fatalf("HyFD run must report switches: %+v", res)
+	}
+}
+
+func TestExecuteInProcessBaselineMatchesHyFD(t *testing.T) {
+	for _, alg := range []string{"Tane", "Fdep"} {
+		res := ExecuteInProcess(Spec{Algorithm: alg, Dataset: "iris", Rows: 150})
+		if res.Err != "" {
+			t.Fatalf("%s err: %s", alg, res.Err)
+		}
+		hy := ExecuteInProcess(Spec{Algorithm: HyFDName, Dataset: "iris", Rows: 150})
+		if res.FDs != hy.FDs {
+			t.Fatalf("%s found %d FDs, HyFD %d", alg, res.FDs, hy.FDs)
+		}
+	}
+}
+
+func TestExecuteInProcessErrors(t *testing.T) {
+	if res := ExecuteInProcess(Spec{Algorithm: HyFDName, Dataset: "nope"}); res.Err == "" {
+		t.Fatal("unknown dataset accepted")
+	}
+	if res := ExecuteInProcess(Spec{Algorithm: "NoAlg", Dataset: "iris"}); res.Err == "" {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestMaterializeCapsRowsAndCols(t *testing.T) {
+	rel, err := Materialize(Spec{Dataset: "uniprot", Rows: 200, Cols: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() > 200 || rel.NumCols() != 10 {
+		t.Fatalf("dims %dx%d", rel.NumRows(), rel.NumCols())
+	}
+	if rel.Name != "uniprot" {
+		t.Fatalf("name %q", rel.Name)
+	}
+}
+
+func TestExperimentsDefinitions(t *testing.T) {
+	opts := DefaultOptions()
+	exps := Experiments(opts)
+	if len(exps) != 6 {
+		t.Fatalf("%d experiments", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if len(e.Jobs) == 0 || e.Render == nil || e.Title == "" {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, id := range []string{"fig6", "fig7", "table1", "table2", "table3", "fig8"} {
+		if !ids[id] {
+			t.Fatalf("experiment %q missing", id)
+		}
+	}
+	if _, err := ByID("fig6", opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope", opts); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// Table 1 covers all 17 datasets × 8 algorithms.
+	t1, _ := ByID("table1", opts)
+	if len(t1.Jobs) != 17*8 {
+		t.Fatalf("table1 jobs = %d", len(t1.Jobs))
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	opts := DefaultOptions()
+	for _, e := range Experiments(opts) {
+		// Fabricate one result per job (no real runs) and render.
+		var results []Result
+		for i, j := range e.Jobs {
+			r := Result{Spec: j, Seconds: float64(i) * 0.1, FDs: i, Switches: 3}
+			switch i % 5 {
+			case 3:
+				r.TimedOut = true
+			case 4:
+				r.Err = "boom"
+			}
+			results = append(results, r)
+		}
+		var buf bytes.Buffer
+		e.Render(&buf, results)
+		out := buf.String()
+		if len(out) == 0 {
+			t.Fatalf("%s rendered nothing", e.ID)
+		}
+		if !strings.Contains(out, "TL") && strings.Contains(e.ID, "table1") {
+			t.Fatalf("%s output lacks TL marker:\n%s", e.ID, out)
+		}
+	}
+}
+
+func TestMeasureOnCustomRelation(t *testing.T) {
+	rel := relation.New("tiny", []string{"A", "B"})
+	rel.AppendRow([]string{"1", "1"})
+	rel.AppendRow([]string{"1", "1"})
+	res := Measure(Spec{Algorithm: "Fdep", Dataset: "tiny"}, rel)
+	if res.Err != "" || res.FDs != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Sanity: matches the reference on the same relation.
+	want := fd.BruteForce(rel, relation.NullEqualsNull)
+	if res.FDs != want.Size() {
+		t.Fatalf("FDs = %d, want %d", res.FDs, want.Size())
+	}
+}
+
+func TestMaterializeScalesPastNaturalSize(t *testing.T) {
+	// Fig 6 sweeps uniprot past its catalog size of 1000 rows.
+	rel, err := Materialize(Spec{Dataset: "uniprot", Rows: 2500, Cols: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 2500 {
+		t.Fatalf("rows = %d, want 2500", rel.NumRows())
+	}
+}

@@ -1,0 +1,82 @@
+// Package inductor implements HyFD's FD induction (§7, Alg. 3): it converts
+// the Sampler's FD-violations (the negative cover) into minimal FD
+// candidates by successive specialization of an FDTree (the positive
+// cover), following the Fdep idea with the paper's cardinality-descending
+// processing order.
+package inductor
+
+import (
+	"sort"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/fdtree"
+)
+
+// Inductor specializes a shared FDTree with observed non-FDs. The tree
+// persists across calls so subsequent sampling rounds refine, not rebuild,
+// the candidate set.
+type Inductor struct {
+	fds      *fdtree.Tree
+	numAttrs int
+}
+
+// New returns an Inductor that seeds the tree with the most general FDs
+// ∅ → A for every attribute A (Alg. 3 lines 2-4).
+func New(numAttrs int) *Inductor {
+	t := fdtree.New(numAttrs)
+	empty := bitset.New(numAttrs)
+	all := empty.Flip()
+	t.AddRhss(empty, all)
+	return &Inductor{fds: t, numAttrs: numAttrs}
+}
+
+// Tree returns the shared candidate FDTree.
+func (in *Inductor) Tree() *fdtree.Tree { return in.fds }
+
+// Update specializes the candidate tree with a batch of non-FDs. Each
+// bitset holds the attributes two records agreed on; every unset attribute
+// is a right-hand side the agree-set fails to determine. Non-FDs are
+// processed in descending cardinality order so long LHSs prune the tree
+// early (Alg. 3 line 1).
+func (in *Inductor) Update(nonFds []bitset.Set) {
+	sorted := append([]bitset.Set(nil), nonFds...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return bitset.CompareCardinalityDesc(sorted[i], sorted[j]) < 0
+	})
+	for _, lhs := range sorted {
+		rhss := lhs.Flip()
+		rhss.ForEach(func(rhs int) bool {
+			in.specialize(lhs, rhs)
+			return true
+		})
+	}
+}
+
+// specialize removes lhs → rhs and all its generalizations from the tree
+// and re-adds every still-valid minimal specialization (Alg. 3 lines
+// 10-20).
+func (in *Inductor) specialize(lhs bitset.Set, rhs int) {
+	invalidLhss := in.fds.GetFdAndGenerals(lhs, rhs)
+	maxLhs := in.fds.MaxLhs()
+	for _, invalidLhs := range invalidLhss {
+		in.fds.Remove(invalidLhs, rhs)
+		if invalidLhs.Cardinality() >= maxLhs {
+			continue // extensions would exceed the Guardian's bound
+		}
+		for attr := 0; attr < in.numAttrs; attr++ {
+			// Skip attributes of the observed agree-set, not just of
+			// invalidLhs: any extension inside the agree-set stays a
+			// generalization of the same non-FD and would be invalid by
+			// the very observation being processed (cf. the paper's
+			// worked example, where D ↛ B yields A→B and C→B only).
+			if lhs.Test(attr) || rhs == attr {
+				continue
+			}
+			newLhs := invalidLhs.With(attr)
+			if in.fds.FindFdOrGeneral(newLhs, rhs) {
+				continue
+			}
+			in.fds.Add(newLhs, rhs)
+		}
+	}
+}

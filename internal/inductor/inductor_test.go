@@ -1,0 +1,202 @@
+package inductor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/fd"
+)
+
+func TestInitialTree(t *testing.T) {
+	in := New(3)
+	fds := in.Tree().FDs()
+	if fds.Size() != 3 {
+		t.Fatalf("initial tree has %d FDs, want 3 (∅→A for each A):\n%s", fds.Size(), fds)
+	}
+	for rhs := 0; rhs < 3; rhs++ {
+		if !fds.Contains(fd.FD{Lhs: bitset.New(3), Rhs: rhs}) {
+			t.Fatalf("missing ∅ → %d", rhs)
+		}
+	}
+}
+
+// TestPaperExampleSection4 reproduces the §4 walkthrough: schema R(A,B,C),
+// non-FD A ↛ B (observation: records agree on A only, so A ↛ B and A ↛ C).
+// The paper discusses only the B side: result ∅→AC plus C→B. With the full
+// observation the C side specializes symmetrically to B→C.
+func TestPaperExampleSection4(t *testing.T) {
+	in := New(3)
+	in.Update([]bitset.Set{bitset.FromIndices(3, 0)}) // agree on {A}
+	got := in.Tree().FDs()
+	want := fd.NewSet(3)
+	want.Add(fd.FD{Lhs: bitset.New(3), Rhs: 0})            // ∅ → A
+	want.Add(fd.FD{Lhs: bitset.FromIndices(3, 2), Rhs: 1}) // C → B
+	want.Add(fd.FD{Lhs: bitset.FromIndices(3, 1), Rhs: 2}) // B → C
+	if !got.Equal(want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// coverReference computes, by brute force, all minimal non-trivial FDs
+// consistent with a negative cover of agree-sets: X → A is inconsistent iff
+// some observed agree-set Y has X ⊆ Y and A ∉ Y.
+func coverReference(numAttrs int, obs []bitset.Set) *fd.Set {
+	out := fd.NewSet(numAttrs)
+	consistent := func(lhs bitset.Set, rhs int) bool {
+		for _, y := range obs {
+			if lhs.IsSubsetOf(y) && !y.Test(rhs) {
+				return false
+			}
+		}
+		return true
+	}
+	for rhs := 0; rhs < numAttrs; rhs++ {
+		var found []bitset.Set
+		level := []bitset.Set{bitset.New(numAttrs)}
+		for len(level) > 0 {
+			var next []bitset.Set
+			seen := make(map[string]struct{})
+			for _, lhs := range level {
+				dominated := false
+				for _, g := range found {
+					if g.IsSubsetOf(lhs) {
+						dominated = true
+						break
+					}
+				}
+				if dominated {
+					continue
+				}
+				if consistent(lhs, rhs) {
+					found = append(found, lhs)
+					out.Add(fd.FD{Lhs: lhs, Rhs: rhs})
+					continue
+				}
+				for a := 0; a < numAttrs; a++ {
+					if a == rhs || lhs.Test(a) {
+						continue
+					}
+					sp := lhs.With(a)
+					if _, dup := seen[sp.Key()]; dup {
+						continue
+					}
+					seen[sp.Key()] = struct{}{}
+					next = append(next, sp)
+				}
+			}
+			level = next
+		}
+	}
+	return out
+}
+
+func TestUpdateMatchesCoverReference(t *testing.T) {
+	// Deterministic scenario over 4 attributes.
+	obs := []bitset.Set{
+		bitset.FromIndices(4, 3),       // agree {D}: D ↛ A,B,C
+		bitset.FromIndices(4, 0, 1),    // agree {A,B}
+		bitset.FromIndices(4, 0, 2, 3), // agree {A,C,D}
+	}
+	in := New(4)
+	in.Update(obs)
+	got := in.Tree().FDs()
+	want := coverReference(4, obs)
+	if !got.Equal(want) {
+		t.Fatalf("got:\n%s\nwant:\n%s\nmissing: %v\nextra: %v",
+			got, want, want.Diff(got), got.Diff(want))
+	}
+}
+
+func TestIncrementalUpdateEqualsBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n = 6
+	var obs []bitset.Set
+	for i := 0; i < 12; i++ {
+		s := bitset.New(n)
+		for a := 0; a < n; a++ {
+			if r.Intn(2) == 0 {
+				s.Set(a)
+			}
+		}
+		obs = append(obs, s)
+	}
+	batch := New(n)
+	batch.Update(obs)
+	incr := New(n)
+	incr.Update(obs[:4])
+	incr.Update(obs[4:9])
+	incr.Update(obs[9:])
+	if !batch.Tree().FDs().Equal(incr.Tree().FDs()) {
+		t.Fatalf("incremental updates diverge from batch:\nbatch:\n%s\nincr:\n%s",
+			batch.Tree().FDs(), incr.Tree().FDs())
+	}
+}
+
+func TestQuickUpdateMatchesCoverReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		numObs := r.Intn(10)
+		var obs []bitset.Set
+		for i := 0; i < numObs; i++ {
+			s := bitset.New(n)
+			for a := 0; a < n; a++ {
+				if r.Intn(2) == 0 {
+					s.Set(a)
+				}
+			}
+			obs = append(obs, s)
+		}
+		in := New(n)
+		in.Update(obs)
+		return in.Tree().FDs().Equal(coverReference(n, obs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullAgreeObservationIsNoOp(t *testing.T) {
+	in := New(3)
+	before := in.Tree().FDs()
+	in.Update([]bitset.Set{bitset.New(3).Flip()}) // identical records
+	if !in.Tree().FDs().Equal(before) {
+		t.Fatal("full agree-set changed the tree")
+	}
+}
+
+func TestEmptyAgreeObservation(t *testing.T) {
+	// Records that agree on nothing invalidate every ∅ → A.
+	in := New(3)
+	in.Update([]bitset.Set{bitset.New(3)})
+	got := in.Tree().FDs()
+	want := coverReference(3, []bitset.Set{bitset.New(3)})
+	if !got.Equal(want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+	// No ∅ → A may survive.
+	for rhs := 0; rhs < 3; rhs++ {
+		if got.Contains(fd.FD{Lhs: bitset.New(3), Rhs: rhs}) {
+			t.Fatalf("∅ → %d survived an empty agree-set", rhs)
+		}
+	}
+}
+
+func TestMaxLhsRespected(t *testing.T) {
+	in := New(5)
+	in.Tree().SetMaxLhs(1)
+	// Invalidate all single-attribute FDs for rhs 4 so specializations
+	// would need LHS size 2 — which the bound refuses.
+	var obs []bitset.Set
+	for a := 0; a < 4; a++ {
+		obs = append(obs, bitset.FromIndices(5, a))
+	}
+	in.Update(obs)
+	for _, f := range in.Tree().FDs().All() {
+		if f.Lhs.Cardinality() > 1 {
+			t.Fatalf("FD %v exceeds maxLhs=1", f)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package pli
+
+import (
+	"hyfd/internal/bitset"
+)
+
+// Cache memoizes stripped partitions of attribute sets, building them by
+// intersecting along canonical prefixes. The lattice-traversal baselines
+// that compute partitions on demand (FUN's cardinality counter, DFD's
+// random walk) share it. Not safe for concurrent use.
+type Cache struct {
+	plis  []*PLI
+	inter *Intersector
+	parts map[string]*Partition
+	rows  int
+}
+
+// NewCache returns a partition cache over the given single-attribute PLIs.
+func NewCache(plis []*PLI, numRows int) *Cache {
+	return &Cache{
+		plis:  plis,
+		inter: NewIntersector(numRows),
+		parts: make(map[string]*Partition),
+		rows:  numRows,
+	}
+}
+
+// Partition returns the stripped partition of the attribute set, computing
+// and caching it (and its canonical prefixes) as needed. The empty set's
+// partition is the single cluster of all records.
+func (c *Cache) Partition(attrs bitset.Set) *Partition {
+	key := attrs.Key()
+	if p, ok := c.parts[key]; ok {
+		return p
+	}
+	idx := attrs.Indices()
+	var p *Partition
+	switch len(idx) {
+	case 0:
+		cluster := make([]int32, c.rows)
+		for i := range cluster {
+			cluster[i] = int32(i)
+		}
+		p = &Partition{NumRows: c.rows}
+		if c.rows > 1 {
+			p.Clusters = [][]int32{cluster}
+		}
+	case 1:
+		p = PartitionOf(c.plis[idx[0]])
+	default:
+		p = c.Partition(attrs.Without(idx[len(idx)-1]))
+		p = c.inter.Intersect(p, PartitionOf(c.plis[idx[len(idx)-1]]))
+	}
+	c.parts[key] = p
+	return p
+}
+
+// Card returns |X|: the number of distinct value combinations over the
+// attribute set.
+func (c *Cache) Card(attrs bitset.Set) int {
+	if attrs.IsEmpty() {
+		if c.rows == 0 {
+			return 0
+		}
+		return 1
+	}
+	p := c.Partition(attrs)
+	return c.rows - p.Size() + len(p.Clusters)
+}
+
+// Size returns the number of cached partitions (memory telemetry).
+func (c *Cache) Size() int { return len(c.parts) }

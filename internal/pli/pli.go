@@ -1,0 +1,162 @@
+// Package pli implements position list indexes (PLIs), also known as
+// stripped partitions (§5 of the HyFD paper). A PLI groups the records of an
+// attribute into equivalence classes ("clusters") by value, omitting
+// singleton clusters. PLIs are the common substrate of HyFD and of every
+// lattice-traversal baseline: candidate validation, partition intersection
+// and the PLI-compressed record matrix all build on them.
+package pli
+
+import (
+	"sort"
+
+	"hyfd/internal/relation"
+)
+
+// Singleton marks, inside a compressed record, an attribute in which the
+// record's value is unique (its cluster was stripped).
+const Singleton int32 = -1
+
+// PLI is the position list index of a single attribute.
+type PLI struct {
+	// Attr is the attribute index in the original relation.
+	Attr int
+	// Clusters holds the record ids of every equivalence class with at
+	// least two members, each cluster in ascending record order.
+	Clusters [][]int32
+	// NumClusters counts all equivalence classes including stripped
+	// singletons, i.e. the number of distinct values of the attribute.
+	NumClusters int
+	// NumRows is the total number of records in the indexed relation.
+	NumRows int
+}
+
+// Size returns the number of records covered by non-singleton clusters.
+func (p *PLI) Size() int {
+	n := 0
+	for _, c := range p.Clusters {
+		n += len(c)
+	}
+	return n
+}
+
+// IsConstant reports whether all records share one value (at most one
+// cluster covering every record). Empty or single-row relations count as
+// constant: no record pair can disagree.
+func (p *PLI) IsConstant() bool {
+	return p.NumClusters <= 1
+}
+
+// IsUnique reports whether no two records share a value, i.e. the attribute
+// is a key.
+func (p *PLI) IsUnique() bool {
+	return len(p.Clusters) == 0
+}
+
+// Build constructs the PLI of one attribute from its column values. Under
+// NullNotEqualsNull, every null cell forms its own singleton cluster, so
+// nulls never witness an FD violation on the left-hand side.
+func Build(attr int, column []string, ns relation.NullSemantics) *PLI {
+	groups := make(map[string][]int32, len(column))
+	nulls := 0
+	for i, v := range column {
+		if v == relation.Null && ns == relation.NullNotEqualsNull {
+			nulls++ // each null is its own class
+			continue
+		}
+		groups[v] = append(groups[v], int32(i))
+	}
+	p := &PLI{Attr: attr, NumRows: len(column), NumClusters: nulls}
+	for _, ids := range groups {
+		p.NumClusters++
+		if len(ids) > 1 {
+			p.Clusters = append(p.Clusters, ids)
+		}
+	}
+	// Deterministic cluster order: by first record id. Map iteration order
+	// would otherwise leak into sampling order and phase-switch counts.
+	sort.Slice(p.Clusters, func(i, j int) bool {
+		return p.Clusters[i][0] < p.Clusters[j][0]
+	})
+	return p
+}
+
+// BuildAll constructs one PLI per attribute of the relation.
+func BuildAll(rel *relation.Relation, ns relation.NullSemantics) []*PLI {
+	plis := make([]*PLI, rel.NumCols())
+	cols := make([][]string, rel.NumCols())
+	for a := range cols {
+		cols[a] = make([]string, rel.NumRows())
+	}
+	for i, row := range rel.Rows {
+		for a, v := range row {
+			cols[a][i] = v
+		}
+	}
+	for a := range plis {
+		plis[a] = Build(a, cols[a], ns)
+	}
+	return plis
+}
+
+// Index bundles the per-attribute PLIs with the PLI-compressed records the
+// Preprocessor produces (Alg. 1): Records[r][a] is the id of record r's
+// cluster in attribute a, or Singleton if the record's value is unique in a.
+// Order lists attribute indices sorted by descending NumClusters, the
+// sortation the paper uses both to pick sampling sort keys and to choose
+// the pivot PLI during validation.
+type Index struct {
+	Plis    []*PLI
+	Records [][]int32
+	Order   []int
+	NumRows int
+	NumCols int
+}
+
+// NewIndex preprocesses a relation into PLIs and compressed records.
+func NewIndex(rel *relation.Relation, ns relation.NullSemantics) *Index {
+	plis := BuildAll(rel, ns)
+	idx := &Index{
+		Plis:    plis,
+		NumRows: rel.NumRows(),
+		NumCols: rel.NumCols(),
+	}
+	idx.Records = make([][]int32, idx.NumRows)
+	flat := make([]int32, idx.NumRows*idx.NumCols)
+	for i := range flat {
+		flat[i] = Singleton
+	}
+	for r := 0; r < idx.NumRows; r++ {
+		idx.Records[r], flat = flat[:idx.NumCols], flat[idx.NumCols:]
+	}
+	for a, p := range plis {
+		for cid, cluster := range p.Clusters {
+			for _, r := range cluster {
+				idx.Records[r][a] = int32(cid)
+			}
+		}
+	}
+	idx.Order = make([]int, idx.NumCols)
+	for a := range idx.Order {
+		idx.Order[a] = a
+	}
+	sort.SliceStable(idx.Order, func(i, j int) bool {
+		return plis[idx.Order[i]].NumClusters > plis[idx.Order[j]].NumClusters
+	})
+	return idx
+}
+
+// Rank returns, for every attribute, its position in Order. Attributes with
+// more clusters (more distinct values) have lower ranks.
+func (ix *Index) Rank() []int {
+	rank := make([]int, ix.NumCols)
+	for pos, a := range ix.Order {
+		rank[a] = pos
+	}
+	return rank
+}
+
+// Pair is an ordered pair of record ids. The Validator reports pairs that
+// violated FD candidates as comparison suggestions for the Sampler.
+type Pair struct {
+	A, B int32
+}

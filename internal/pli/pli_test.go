@@ -1,0 +1,252 @@
+package pli
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hyfd/internal/relation"
+)
+
+// classRelation is the paper's §5 running example:
+// (Brown,Math),(Walker,Math),(Brown,English),(Miller,English),(Brown,Math).
+func classRelation() *relation.Relation {
+	r := relation.New("class", []string{"Teacher", "Subject"})
+	r.AppendRow([]string{"Brown", "Math"})
+	r.AppendRow([]string{"Walker", "Math"})
+	r.AppendRow([]string{"Brown", "English"})
+	r.AppendRow([]string{"Miller", "English"})
+	r.AppendRow([]string{"Brown", "Math"})
+	return r
+}
+
+func TestBuildPaperExample(t *testing.T) {
+	rel := classRelation()
+	// Paper uses 1-based tuple ids; we use 0-based record ids.
+	teacher := Build(0, rel.Column(0), relation.NullEqualsNull)
+	if len(teacher.Clusters) != 1 {
+		t.Fatalf("π{Teacher} clusters = %v", teacher.Clusters)
+	}
+	if got := teacher.Clusters[0]; len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("π{Teacher} = %v, want [0 2 4]", got)
+	}
+	if teacher.NumClusters != 3 { // Brown, Walker, Miller
+		t.Fatalf("π{Teacher} NumClusters = %d, want 3", teacher.NumClusters)
+	}
+	subject := Build(1, rel.Column(1), relation.NullEqualsNull)
+	if len(subject.Clusters) != 2 {
+		t.Fatalf("π{Subject} clusters = %v", subject.Clusters)
+	}
+	if subject.NumClusters != 2 {
+		t.Fatalf("π{Subject} NumClusters = %d, want 2", subject.NumClusters)
+	}
+}
+
+func TestBuildNullSemantics(t *testing.T) {
+	col := []string{relation.Null, relation.Null, "x"}
+	eq := Build(0, col, relation.NullEqualsNull)
+	if len(eq.Clusters) != 1 || len(eq.Clusters[0]) != 2 {
+		t.Fatalf("null=null clusters = %v", eq.Clusters)
+	}
+	if eq.NumClusters != 2 {
+		t.Fatalf("null=null NumClusters = %d, want 2", eq.NumClusters)
+	}
+	ne := Build(0, col, relation.NullNotEqualsNull)
+	if len(ne.Clusters) != 0 {
+		t.Fatalf("null!=null clusters = %v", ne.Clusters)
+	}
+	if ne.NumClusters != 3 {
+		t.Fatalf("null!=null NumClusters = %d, want 3", ne.NumClusters)
+	}
+}
+
+func TestConstantAndUnique(t *testing.T) {
+	cons := Build(0, []string{"a", "a", "a"}, relation.NullEqualsNull)
+	if !cons.IsConstant() || cons.IsUnique() {
+		t.Fatal("constant column misclassified")
+	}
+	uniq := Build(0, []string{"a", "b", "c"}, relation.NullEqualsNull)
+	if uniq.IsConstant() || !uniq.IsUnique() {
+		t.Fatal("unique column misclassified")
+	}
+	empty := Build(0, nil, relation.NullEqualsNull)
+	if !empty.IsConstant() || !empty.IsUnique() {
+		t.Fatal("empty column should be constant and unique")
+	}
+	if cons.Size() != 3 || uniq.Size() != 0 {
+		t.Fatal("Size broken")
+	}
+}
+
+func TestNewIndexCompressedRecords(t *testing.T) {
+	rel := classRelation()
+	ix := NewIndex(rel, relation.NullEqualsNull)
+	if ix.NumRows != 5 || ix.NumCols != 2 {
+		t.Fatalf("dims %dx%d", ix.NumRows, ix.NumCols)
+	}
+	// Records 0,2,4 share Teacher cluster; record 1 and 3 are singletons.
+	if ix.Records[0][0] != ix.Records[2][0] || ix.Records[2][0] != ix.Records[4][0] {
+		t.Fatalf("Teacher clusters: %v %v %v", ix.Records[0], ix.Records[2], ix.Records[4])
+	}
+	if ix.Records[1][0] != Singleton || ix.Records[3][0] != Singleton {
+		t.Fatal("singleton Teacher records not marked")
+	}
+	// Subject: {0,1,4} and {2,3}.
+	if ix.Records[0][1] != ix.Records[1][1] || ix.Records[0][1] != ix.Records[4][1] {
+		t.Fatal("Math cluster mismatch")
+	}
+	if ix.Records[2][1] != ix.Records[3][1] || ix.Records[2][1] == ix.Records[0][1] {
+		t.Fatal("English cluster mismatch")
+	}
+	// Order: Teacher has 3 distinct values, Subject 2 → Teacher first.
+	if ix.Order[0] != 0 || ix.Order[1] != 1 {
+		t.Fatalf("Order = %v, want [0 1]", ix.Order)
+	}
+	rank := ix.Rank()
+	if rank[0] != 0 || rank[1] != 1 {
+		t.Fatalf("Rank = %v", rank)
+	}
+}
+
+func TestPartitionErrorAndConstant(t *testing.T) {
+	rel := classRelation()
+	plis := BuildAll(rel, relation.NullEqualsNull)
+	pt := PartitionOf(plis[0])
+	if pt.Error() != 2 { // cluster of 3 → 3-1
+		t.Fatalf("Error = %d, want 2", pt.Error())
+	}
+	if pt.RefinesConstant() {
+		t.Fatal("Teacher is not constant")
+	}
+	cons := PartitionOf(Build(0, []string{"a", "a"}, relation.NullEqualsNull))
+	if !cons.RefinesConstant() {
+		t.Fatal("constant partition not detected")
+	}
+	single := PartitionOf(Build(0, []string{"a"}, relation.NullEqualsNull))
+	if !single.RefinesConstant() {
+		t.Fatal("single-row partition should be constant")
+	}
+}
+
+func TestIntersectPaperExample(t *testing.T) {
+	rel := classRelation()
+	plis := BuildAll(rel, relation.NullEqualsNull)
+	ix := NewIntersector(rel.NumRows())
+	prod := ix.Intersect(PartitionOf(plis[0]), PartitionOf(plis[1]))
+	// π{Teacher,Subject} = {{0,4}} (paper: {{1,5}} 1-based).
+	if len(prod.Clusters) != 1 {
+		t.Fatalf("product clusters = %v", prod.Clusters)
+	}
+	got := append([]int32(nil), prod.Clusters[0]...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("product cluster = %v, want [0 4]", got)
+	}
+}
+
+func TestIntersectCommutes(t *testing.T) {
+	seed := int64(42)
+	r := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 25; trial++ {
+		n := 30 + r.Intn(40)
+		colA := make([]string, n)
+		colB := make([]string, n)
+		for i := 0; i < n; i++ {
+			colA[i] = string(rune('a' + r.Intn(4)))
+			colB[i] = string(rune('a' + r.Intn(4)))
+		}
+		pa := PartitionOf(Build(0, colA, relation.NullEqualsNull))
+		pb := PartitionOf(Build(1, colB, relation.NullEqualsNull))
+		in := NewIntersector(n)
+		ab := in.Intersect(pa, pb)
+		ba := in.Intersect(pb, pa)
+		if ab.Error() != ba.Error() || ab.Size() != ba.Size() || len(ab.Clusters) != len(ba.Clusters) {
+			t.Fatalf("trial %d: intersection not commutative: %v vs %v", trial, ab, ba)
+		}
+		// Compare normalized cluster sets.
+		if normalize(ab) != normalize(ba) {
+			t.Fatalf("trial %d: clusters differ", trial)
+		}
+	}
+}
+
+func normalize(p *Partition) string {
+	cls := make([]string, 0, len(p.Clusters))
+	for _, c := range p.Clusters {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
+		s := ""
+		for _, r := range cc {
+			s += string(rune(r)) + ","
+		}
+		cls = append(cls, s)
+	}
+	sort.Strings(cls)
+	out := ""
+	for _, c := range cls {
+		out += c + "|"
+	}
+	return out
+}
+
+// TestQuickIntersectAgainstDirect checks the intersection against grouping
+// the raw value pairs directly.
+func TestQuickIntersectAgainstDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(60)
+		colA := make([]string, n)
+		colB := make([]string, n)
+		for i := 0; i < n; i++ {
+			colA[i] = string(rune('a' + r.Intn(5)))
+			colB[i] = string(rune('a' + r.Intn(5)))
+		}
+		pa := PartitionOf(Build(0, colA, relation.NullEqualsNull))
+		pb := PartitionOf(Build(1, colB, relation.NullEqualsNull))
+		prod := NewIntersector(n).Intersect(pa, pb)
+		// Direct: group by (a,b) pair.
+		pairCol := make([]string, n)
+		for i := 0; i < n; i++ {
+			pairCol[i] = colA[i] + "\x01" + colB[i]
+		}
+		direct := PartitionOf(Build(0, pairCol, relation.NullEqualsNull))
+		return normalize(prod) == normalize(direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildPLI(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	n := 10000
+	col := make([]string, n)
+	for i := range col {
+		col[i] = string(rune('a' + r.Intn(50)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(0, col, relation.NullEqualsNull)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	n := 10000
+	colA := make([]string, n)
+	colB := make([]string, n)
+	for i := 0; i < n; i++ {
+		colA[i] = string(rune('a' + r.Intn(20)))
+		colB[i] = string(rune('a' + r.Intn(20)))
+	}
+	pa := PartitionOf(Build(0, colA, relation.NullEqualsNull))
+	pb := PartitionOf(Build(1, colB, relation.NullEqualsNull))
+	in := NewIntersector(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Intersect(pa, pb)
+	}
+}

@@ -1,0 +1,115 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSVOptions controls CSV parsing into a Relation.
+type CSVOptions struct {
+	// Comma is the field separator; 0 means ','.
+	Comma rune
+	// HasHeader indicates the first record holds column names. When false,
+	// columns are named col0, col1, ....
+	HasHeader bool
+	// EmptyIsNull maps empty fields to the Null sentinel.
+	EmptyIsNull bool
+	// NullLiteral, when non-empty, is an additional token mapped to Null
+	// (e.g. "NULL", "\\N").
+	NullLiteral string
+}
+
+// ReadCSV parses a relation from CSV input.
+func ReadCSV(name string, rd io.Reader, opts CSVOptions) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1 // arity validated below for a better message
+	cr.ReuseRecord = false
+
+	rel := &Relation{Name: name}
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation %q: %w", name, err)
+		}
+		if first {
+			first = false
+			if opts.HasHeader {
+				rel.Columns = append([]string(nil), rec...)
+				continue
+			}
+			rel.Columns = make([]string, len(rec))
+			for i := range rec {
+				rel.Columns[i] = fmt.Sprintf("col%d", i)
+			}
+		}
+		if len(rec) != len(rel.Columns) {
+			return nil, fmt.Errorf("relation %q: row %d has %d fields, expected %d",
+				name, len(rel.Rows)+1, len(rec), len(rel.Columns))
+		}
+		row := make([]string, len(rec))
+		for i, cell := range rec {
+			if (opts.EmptyIsNull && cell == "") ||
+				(opts.NullLiteral != "" && cell == opts.NullLiteral) {
+				row[i] = Null
+			} else {
+				row[i] = cell
+			}
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	if rel.Columns == nil {
+		return nil, fmt.Errorf("relation %q: empty input", name)
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// ReadCSVFile parses a relation from a CSV file; the relation is named after
+// the file's base name without extension.
+func ReadCSVFile(path string, opts CSVOptions) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(name, f, opts)
+}
+
+// WriteCSV serializes the relation, header first. Null cells are written as
+// empty fields.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	buf := make([]string, len(r.Columns))
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if cell == Null {
+				buf[i] = ""
+			} else {
+				buf[i] = cell
+			}
+		}
+		if err := cw.Write(buf); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

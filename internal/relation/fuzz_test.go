@@ -1,0 +1,33 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the parser and that
+// accepted relations are structurally valid.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n", true)
+	f.Add("a;b\n", false)
+	f.Add("", true)
+	f.Add("a,b\n1\n", true)
+	f.Add("\"q\"\"x\",y\n1,2\n", true)
+	f.Add("a,a\n1,2\n", true)
+	f.Add("a,b\n,NULL\n", false)
+	f.Fuzz(func(t *testing.T, input string, header bool) {
+		rel, err := ReadCSV("fuzz", strings.NewReader(input), CSVOptions{
+			HasHeader:   header,
+			EmptyIsNull: true,
+			NullLiteral: "NULL",
+		})
+		if err != nil {
+			return
+		}
+		if err := rel.Validate(); err != nil {
+			// Duplicate/empty header names are rejected by ReadCSV itself;
+			// reaching here means ReadCSV accepted an invalid relation.
+			t.Fatalf("accepted invalid relation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package relation provides in-memory relational instances — the input of
+// every FD discovery algorithm in this repository — together with CSV
+// parsing/serialization and the null-semantics switch described in §10.1 of
+// the HyFD paper.
+package relation
+
+import (
+	"fmt"
+)
+
+// NullSemantics selects how null values participate in equality comparisons
+// during FD discovery. The paper (and all related work it compares against)
+// defaults to NullEqualsNull.
+type NullSemantics int
+
+const (
+	// NullEqualsNull treats two nulls as equal (⊥ = ⊥).
+	NullEqualsNull NullSemantics = iota
+	// NullNotEqualsNull treats every null as distinct from everything,
+	// including other nulls (⊥ ≠ ⊥).
+	NullNotEqualsNull
+)
+
+func (ns NullSemantics) String() string {
+	switch ns {
+	case NullEqualsNull:
+		return "null=null"
+	case NullNotEqualsNull:
+		return "null!=null"
+	default:
+		return fmt.Sprintf("NullSemantics(%d)", int(ns))
+	}
+}
+
+// Null is the in-memory representation of a SQL NULL cell. CSV readers map
+// empty fields to Null when configured to do so.
+const Null = "\x00<null>"
+
+// Relation is a named relational instance: a schema of column names and a
+// row-major matrix of string cells.
+type Relation struct {
+	// Name identifies the relation (dataset name, file stem, ...).
+	Name string
+	// Columns holds the attribute names, defining attribute indices.
+	Columns []string
+	// Rows holds the records; every row has len(Columns) cells.
+	Rows [][]string
+}
+
+// New returns an empty relation with the given name and column names.
+func New(name string, columns []string) *Relation {
+	return &Relation{Name: name, Columns: columns}
+}
+
+// NumCols returns the number of attributes.
+func (r *Relation) NumCols() int { return len(r.Columns) }
+
+// NumRows returns the number of records.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// AppendRow adds a record. It panics if the arity does not match the schema,
+// which always indicates a programming error in a generator or loader.
+func (r *Relation) AppendRow(row []string) {
+	if len(row) != len(r.Columns) {
+		panic(fmt.Sprintf("relation %q: row arity %d != schema arity %d", r.Name, len(row), len(r.Columns)))
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Project returns a new relation containing only the first k columns of r.
+// The evaluation's column-scalability experiments (Fig. 7) sweep column
+// prefixes this way. Row slices are copied; cell strings are shared.
+func (r *Relation) Project(k int) *Relation {
+	if k < 0 || k > len(r.Columns) {
+		panic(fmt.Sprintf("relation %q: cannot project to %d of %d columns", r.Name, k, len(r.Columns)))
+	}
+	p := &Relation{
+		Name:    fmt.Sprintf("%s[0:%d]", r.Name, k),
+		Columns: append([]string(nil), r.Columns[:k]...),
+		Rows:    make([][]string, len(r.Rows)),
+	}
+	for i, row := range r.Rows {
+		p.Rows[i] = row[:k:k]
+	}
+	return p
+}
+
+// Head returns a new relation containing only the first n rows of r (all of
+// them if n exceeds the row count). The row-scalability experiments (Fig. 6)
+// sweep row prefixes this way. Row slices are shared.
+func (r *Relation) Head(n int) *Relation {
+	if n < 0 {
+		panic(fmt.Sprintf("relation %q: negative head %d", r.Name, n))
+	}
+	if n > len(r.Rows) {
+		n = len(r.Rows)
+	}
+	return &Relation{
+		Name:    fmt.Sprintf("%s[%d rows]", r.Name, n),
+		Columns: r.Columns,
+		Rows:    r.Rows[:n:n],
+	}
+}
+
+// Column returns the values of attribute a across all rows, in row order.
+func (r *Relation) Column(a int) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row[a]
+	}
+	return out
+}
+
+// Validate checks structural integrity: consistent arity and non-empty,
+// unique column names. Loaders call it after parsing external input.
+func (r *Relation) Validate() error {
+	seen := make(map[string]struct{}, len(r.Columns))
+	for i, c := range r.Columns {
+		if c == "" {
+			return fmt.Errorf("relation %q: column %d has empty name", r.Name, i)
+		}
+		if _, dup := seen[c]; dup {
+			return fmt.Errorf("relation %q: duplicate column name %q", r.Name, c)
+		}
+		seen[c] = struct{}{}
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			return fmt.Errorf("relation %q: row %d has %d cells, schema has %d columns", r.Name, i, len(row), len(r.Columns))
+		}
+	}
+	return nil
+}

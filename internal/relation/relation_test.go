@@ -1,0 +1,182 @@
+package relation
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func sample() *Relation {
+	r := New("class", []string{"Teacher", "Subject"})
+	r.AppendRow([]string{"Brown", "Math"})
+	r.AppendRow([]string{"Walker", "Math"})
+	r.AppendRow([]string{"Brown", "English"})
+	return r
+}
+
+func TestBasicAccessors(t *testing.T) {
+	r := sample()
+	if r.NumCols() != 2 || r.NumRows() != 3 {
+		t.Fatalf("dims = %dx%d, want 3x2", r.NumRows(), r.NumCols())
+	}
+	col := r.Column(0)
+	if len(col) != 3 || col[0] != "Brown" || col[1] != "Walker" {
+		t.Fatalf("Column(0) = %v", col)
+	}
+}
+
+func TestAppendRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	sample().AppendRow([]string{"only-one"})
+}
+
+func TestProject(t *testing.T) {
+	r := sample()
+	p := r.Project(1)
+	if p.NumCols() != 1 || p.NumRows() != 3 {
+		t.Fatalf("Project dims wrong: %dx%d", p.NumRows(), p.NumCols())
+	}
+	if p.Rows[1][0] != "Walker" {
+		t.Fatalf("Project lost data: %v", p.Rows)
+	}
+	if got := r.Project(0).NumCols(); got != 0 {
+		t.Fatalf("Project(0) cols = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range projection")
+		}
+	}()
+	r.Project(3)
+}
+
+func TestHead(t *testing.T) {
+	r := sample()
+	h := r.Head(2)
+	if h.NumRows() != 2 || h.Rows[1][0] != "Walker" {
+		t.Fatalf("Head(2) = %v", h.Rows)
+	}
+	if r.Head(99).NumRows() != 3 {
+		t.Fatal("Head beyond length should clamp")
+	}
+	if r.Head(0).NumRows() != 0 {
+		t.Fatal("Head(0) should be empty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := sample()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid relation rejected: %v", err)
+	}
+	dup := New("d", []string{"A", "A"})
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate columns accepted")
+	}
+	anon := New("a", []string{"A", ""})
+	if err := anon.Validate(); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+	bad := sample()
+	bad.Rows = append(bad.Rows, []string{"x"})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestReadCSVWithHeader(t *testing.T) {
+	in := "a,b,c\n1,2,3\n4,,6\n"
+	r, err := ReadCSV("t", strings.NewReader(in), CSVOptions{HasHeader: true, EmptyIsNull: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumCols() != 3 || r.NumRows() != 2 {
+		t.Fatalf("dims = %dx%d", r.NumRows(), r.NumCols())
+	}
+	if r.Columns[1] != "b" {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+	if r.Rows[1][1] != Null {
+		t.Fatalf("empty cell not mapped to Null: %q", r.Rows[1][1])
+	}
+}
+
+func TestReadCSVNoHeaderAndNullLiteral(t *testing.T) {
+	in := "1;NULL\n2;x\n"
+	r, err := ReadCSV("t", strings.NewReader(in), CSVOptions{Comma: ';', NullLiteral: "NULL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Columns[0] != "col0" || r.Columns[1] != "col1" {
+		t.Fatalf("generated columns = %v", r.Columns)
+	}
+	if r.Rows[0][1] != Null {
+		t.Fatal("NULL literal not mapped")
+	}
+	if r.Rows[1][1] != "x" {
+		t.Fatal("regular cell mangled")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader(""), CSVOptions{HasHeader: true}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1\n"), CSVOptions{HasHeader: true}); err == nil {
+		t.Fatal("ragged CSV accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sample()
+	r.Rows[0][1] = Null
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("class", &buf, CSVOptions{HasHeader: true, EmptyIsNull: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != r.NumRows() || back.NumCols() != r.NumCols() {
+		t.Fatalf("roundtrip dims %dx%d", back.NumRows(), back.NumCols())
+	}
+	for i := range r.Rows {
+		for j := range r.Rows[i] {
+			if back.Rows[i][j] != r.Rows[i][j] {
+				t.Fatalf("cell (%d,%d) = %q, want %q", i, j, back.Rows[i][j], r.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestNullSemanticsString(t *testing.T) {
+	if NullEqualsNull.String() != "null=null" || NullNotEqualsNull.String() != "null!=null" {
+		t.Fatal("NullSemantics.String broken")
+	}
+	if NullSemantics(9).String() == "" {
+		t.Fatal("unknown semantics should still render")
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 4 {
+		return 0, io.ErrClosedPipe
+	}
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	r := sample()
+	if err := r.WriteCSV(&failingWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

@@ -1,0 +1,288 @@
+// Package sampler implements HyFD's focused sampling (§6, Alg. 2): the
+// column-efficient half of Phase 1. It compares PLI-compressed records
+// inside sliding windows over sorted PLI clusters, progressively widening
+// the window of whichever attribute sortation currently yields the most new
+// FD-violations per comparison, and stops once every sortation's efficiency
+// falls below the (progressively relaxed) threshold.
+package sampler
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/pli"
+)
+
+// DefaultEfficiencyThreshold is the paper's recommended initial sampling
+// efficiency: one new FD-violation per 100 comparisons.
+const DefaultEfficiencyThreshold = 0.01
+
+// efficiency tracks the sampling performance of one attribute's sortation.
+type efficiency struct {
+	attr      int
+	window    int
+	comps     int64
+	results   int64
+	exhausted bool // window outgrew every cluster; no comparisons left
+	heapIdx   int
+}
+
+func (e *efficiency) eval() float64 {
+	if e.exhausted || e.comps == 0 {
+		return 0
+	}
+	return float64(e.results) / float64(e.comps)
+}
+
+// effQueue is a max-heap of efficiencies.
+type effQueue []*efficiency
+
+func (q effQueue) Len() int            { return len(q) }
+func (q effQueue) Less(i, j int) bool  { return q[i].eval() > q[j].eval() }
+func (q effQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].heapIdx = i; q[j].heapIdx = j }
+func (q *effQueue) Push(x interface{}) { e := x.(*efficiency); e.heapIdx = len(*q); *q = append(*q, e) }
+func (q *effQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Sampler detects FD-violations (non-FDs) by windowed record comparisons.
+// It keeps all observations across calls; Run returns only new ones.
+type Sampler struct {
+	ix        *pli.Index
+	threshold float64
+	queue     effQueue
+	// sorted holds, per attribute, its PLI clusters re-sorted by the
+	// neighbor-attribute keys of Fig. 3(1).
+	sorted      [][][]int32
+	seen        map[string]struct{}
+	initialized bool
+	unfocused   bool
+	threads     int
+
+	// Comparisons counts record-pair comparisons over the sampler's life
+	// (telemetry for the evaluation).
+	Comparisons int64
+}
+
+// SetUnfocused disables the neighborhood sortation of Fig. 3(1): windows
+// then slide over clusters in raw record order. This ablation quantifies
+// the contribution of focused sampling; it affects efficiency only, never
+// correctness.
+func (s *Sampler) SetUnfocused(v bool) {
+	if s.initialized {
+		panic("sampler: SetUnfocused after first Run")
+	}
+	s.unfocused = v
+}
+
+// SetThreads enables parallel window runs with n workers (§10.4: the
+// comparisons are independent of one another). n <= 1 keeps the
+// single-threaded behavior.
+func (s *Sampler) SetThreads(n int) {
+	s.threads = n
+}
+
+// New returns a Sampler over the preprocessed index. threshold is the
+// initial sampling efficiency cutoff; pass 0 for the paper's default of
+// 0.01.
+func New(ix *pli.Index, threshold float64) *Sampler {
+	if threshold <= 0 {
+		threshold = DefaultEfficiencyThreshold
+	}
+	return &Sampler{
+		ix:        ix,
+		threshold: threshold,
+		seen:      make(map[string]struct{}),
+	}
+}
+
+// Threshold returns the current sampling efficiency threshold.
+func (s *Sampler) Threshold() float64 { return s.threshold }
+
+// Run performs one sampling round and returns the FD-violations first
+// observed during this round, as bitsets of the attributes in which the
+// compared records agree. On the first call it sorts all clusters and seeds
+// every attribute with a window of two; on later calls it halves the
+// efficiency threshold and replays the Validator's comparison suggestions
+// before resuming the progressive window search.
+func (s *Sampler) Run(suggestions []pli.Pair) []bitset.Set {
+	var newObs []bitset.Set
+	if !s.initialized {
+		s.initialized = true
+		s.sortClusters()
+		s.queue = make(effQueue, 0, s.ix.NumCols)
+		for attr := 0; attr < s.ix.NumCols; attr++ {
+			e := &efficiency{attr: attr, window: 2}
+			s.runWindow(e, &newObs)
+			heap.Push(&s.queue, e)
+		}
+	} else {
+		s.threshold /= 2
+		for _, sug := range suggestions {
+			s.match(sug.A, sug.B, &newObs)
+		}
+	}
+	for len(s.queue) > 0 {
+		best := s.queue[0]
+		if best.eval() < s.threshold {
+			break
+		}
+		best.window++
+		s.runWindow(best, &newObs)
+		heap.Fix(&s.queue, 0)
+	}
+	return newObs
+}
+
+// sortClusters builds, for every attribute, a private copy of its clusters
+// with the records sorted by their cluster ids in neighboring attributes of
+// the distinctness order (Fig. 3(1)): the left neighbor has more clusters
+// (a promising key), ties fall back to the right neighbor. Distinct sort
+// keys per attribute give each record a different neighborhood in each of
+// its clusters.
+func (s *Sampler) sortClusters() {
+	s.sorted = make([][][]int32, s.ix.NumCols)
+	pos := s.ix.Rank()
+	for attr := 0; attr < s.ix.NumCols; attr++ {
+		p := s.ix.Plis[attr]
+		if s.unfocused {
+			s.sorted[attr] = p.Clusters
+			continue
+		}
+		left, right := -1, -1
+		if i := pos[attr]; i > 0 {
+			left = s.ix.Order[i-1]
+		}
+		if i := pos[attr]; i+1 < s.ix.NumCols {
+			right = s.ix.Order[i+1]
+		}
+		clusters := make([][]int32, len(p.Clusters))
+		for ci, cluster := range p.Clusters {
+			c := append([]int32(nil), cluster...)
+			sort.SliceStable(c, func(x, y int) bool {
+				if left >= 0 {
+					lx, ly := s.ix.Records[c[x]][left], s.ix.Records[c[y]][left]
+					if lx != ly {
+						return lx < ly
+					}
+				}
+				if right >= 0 {
+					rx, ry := s.ix.Records[c[x]][right], s.ix.Records[c[y]][right]
+					if rx != ry {
+						return rx < ry
+					}
+				}
+				return c[x] < c[y]
+			})
+			clusters[ci] = c
+		}
+		s.sorted[attr] = clusters
+	}
+}
+
+// runWindow compares every record to its (window-1)-distant successor in
+// each cluster of the attribute's sortation (Alg. 2 lines 27-35). With
+// threads configured, clusters are matched by a worker pool; the workers
+// build raw agree-sets and the merge deduplicates sequentially, keeping
+// the observation order deterministic.
+func (s *Sampler) runWindow(e *efficiency, newObs *[]bitset.Set) {
+	before := len(*newObs)
+	comps := int64(0)
+	clusters := s.sorted[e.attr]
+	if s.threads > 1 && len(clusters) > 1 {
+		comps = s.runWindowParallel(e.window, clusters, newObs)
+	} else {
+		for _, cluster := range clusters {
+			for i := 0; i+e.window-1 < len(cluster); i++ {
+				s.match(cluster[i], cluster[i+e.window-1], newObs)
+				comps++
+			}
+		}
+	}
+	if comps == 0 {
+		e.exhausted = true
+	}
+	e.comps += comps
+	e.results += int64(len(*newObs) - before)
+}
+
+// runWindowParallel fans the clusters of one window run out over workers.
+func (s *Sampler) runWindowParallel(window int, clusters [][]int32, newObs *[]bitset.Set) int64 {
+	perCluster := make([][]bitset.Set, len(clusters))
+	var comps int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < s.threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for ci := range work {
+				cluster := clusters[ci]
+				var sets []bitset.Set
+				for i := 0; i+window-1 < len(cluster); i++ {
+					ra, rb := s.ix.Records[cluster[i]], s.ix.Records[cluster[i+window-1]]
+					agree := bitset.New(s.ix.NumCols)
+					for attr := range ra {
+						if ra[attr] != pli.Singleton && ra[attr] == rb[attr] {
+							agree.Set(attr)
+						}
+					}
+					sets = append(sets, agree)
+					local++
+				}
+				perCluster[ci] = sets
+			}
+			mu.Lock()
+			comps += local
+			mu.Unlock()
+		}()
+	}
+	for ci := range clusters {
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+	s.Comparisons += comps
+	for _, sets := range perCluster {
+		for _, agree := range sets {
+			key := agree.Key()
+			if _, dup := s.seen[key]; dup {
+				continue
+			}
+			s.seen[key] = struct{}{}
+			*newObs = append(*newObs, agree)
+		}
+	}
+	return comps
+}
+
+// match compares two compressed records and records the agree-set bitset if
+// it is a new observation. Singleton cluster ids never match, mirroring
+// stripped-partition semantics.
+func (s *Sampler) match(a, b int32, newObs *[]bitset.Set) {
+	s.Comparisons++
+	ra, rb := s.ix.Records[a], s.ix.Records[b]
+	agree := bitset.New(s.ix.NumCols)
+	for attr := range ra {
+		if ra[attr] != pli.Singleton && ra[attr] == rb[attr] {
+			agree.Set(attr)
+		}
+	}
+	key := agree.Key()
+	if _, dup := s.seen[key]; dup {
+		return
+	}
+	s.seen[key] = struct{}{}
+	*newObs = append(*newObs, agree)
+}
+
+// ObservationCount returns the number of distinct FD-violations seen so far.
+func (s *Sampler) ObservationCount() int { return len(s.seen) }

@@ -1,0 +1,303 @@
+package validator
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/fd"
+	"hyfd/internal/fdtree"
+	"hyfd/internal/inductor"
+	"hyfd/internal/pli"
+	"hyfd/internal/relation"
+)
+
+func buildRel(rows [][]string, cols []string) *relation.Relation {
+	rel := relation.New("t", cols)
+	for _, r := range rows {
+		rel.AppendRow(r)
+	}
+	return rel
+}
+
+func randomRelation(r *rand.Rand, rows, cols, domain int) *relation.Relation {
+	names := make([]string, cols)
+	for i := range names {
+		names[i] = "c" + strconv.Itoa(i)
+	}
+	rel := relation.New("rnd", names)
+	for i := 0; i < rows; i++ {
+		row := make([]string, cols)
+		for j := range row {
+			row[j] = strconv.Itoa(r.Intn(domain))
+		}
+		rel.AppendRow(row)
+	}
+	return rel
+}
+
+// runExhaustive validates a seeded candidate tree to completion.
+func runExhaustive(t *testing.T, rel *relation.Relation, threads int) *fd.Set {
+	t.Helper()
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	ind := inductor.New(rel.NumCols())
+	v := New(ix, ind.Tree(), WithThreads(threads))
+	res := v.Run(true)
+	if !res.Done {
+		t.Fatal("exhaustive run did not finish")
+	}
+	return ind.Tree().FDs()
+}
+
+// TestValidatorAloneEqualsBruteForce: Phase 2 starting from the most
+// general candidates ∅→A must discover everything by itself (the paper
+// notes each phase can run standalone).
+func TestValidatorAloneEqualsBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		rel := randomRelation(r, 5+r.Intn(40), 2+r.Intn(4), 1+r.Intn(4))
+		got := runExhaustive(t, rel, 1)
+		want := fd.BruteForce(rel, relation.NullEqualsNull)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d:\nmissing: %v\nextra: %v", trial, want.Diff(got), got.Diff(want))
+		}
+	}
+}
+
+func TestValidatorParallelEqualsSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		rel := randomRelation(r, 40, 5, 3)
+		if !runExhaustive(t, rel, 1).Equal(runExhaustive(t, rel, 8)) {
+			t.Fatalf("trial %d: parallel validation diverged", trial)
+		}
+	}
+}
+
+func TestRefinesDirectCheck(t *testing.T) {
+	// Room is determined by Teacher; Subject is not.
+	rel := buildRel([][]string{
+		{"Brown", "Math", "R1"},
+		{"Walker", "Math", "R2"},
+		{"Brown", "English", "R1"},
+		{"Miller", "English", "R3"},
+		{"Brown", "Math", "R1"},
+	}, []string{"Teacher", "Subject", "Room"})
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	ck := newChecker(ix)
+	valid, suggestions := ck.refines(bitset.FromIndices(3, 0), bitset.FromIndices(3, 1, 2))
+	if !valid.Test(2) {
+		t.Fatal("Teacher → Room rejected")
+	}
+	if valid.Test(1) {
+		t.Fatal("Teacher → Subject accepted")
+	}
+	if len(suggestions) == 0 {
+		t.Fatal("no violation witness returned")
+	}
+	// The witness pair must actually violate Teacher → Subject.
+	for _, p := range suggestions {
+		if rel.Rows[p.A][0] != rel.Rows[p.B][0] {
+			t.Fatalf("suggestion (%d,%d) does not agree on Teacher", p.A, p.B)
+		}
+	}
+}
+
+func TestRefinesEmptyLhs(t *testing.T) {
+	rel := buildRel([][]string{
+		{"c", "1"}, {"c", "2"}, {"c", "1"},
+	}, []string{"A", "B"})
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	ck := newChecker(ix)
+	valid, suggestions := ck.refines(bitset.New(2), bitset.FromIndices(2, 0, 1))
+	if !valid.Test(0) {
+		t.Fatal("∅ → A rejected for constant A")
+	}
+	if valid.Test(1) {
+		t.Fatal("∅ → B accepted for non-constant B")
+	}
+	if len(suggestions) != 1 {
+		t.Fatalf("suggestions = %v", suggestions)
+	}
+	p := suggestions[0]
+	if rel.Rows[p.A][1] == rel.Rows[p.B][1] {
+		t.Fatal("∅-violation witness agrees on B")
+	}
+}
+
+// TestQuickRefinesMatchesHolds: the direct refinement check must agree with
+// the definitional FD check on random relations and random candidates.
+func TestQuickRefinesMatchesHolds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := randomRelation(r, 1+r.Intn(40), 2+r.Intn(5), 1+r.Intn(4))
+		ix := pli.NewIndex(rel, relation.NullEqualsNull)
+		ck := newChecker(ix)
+		m := rel.NumCols()
+		for trial := 0; trial < 10; trial++ {
+			lhs := bitset.New(m)
+			for a := 0; a < m; a++ {
+				if r.Intn(3) == 0 {
+					lhs.Set(a)
+				}
+			}
+			rhss := lhs.Flip()
+			if rhss.IsEmpty() {
+				continue
+			}
+			valid, _ := ck.refines(lhs, rhss)
+			ok := true
+			rhss.ForEach(func(rhs int) bool {
+				if valid.Test(rhs) != fd.Holds(rel, relation.NullEqualsNull, lhs, rhs) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseSwitchReturnsSuggestions(t *testing.T) {
+	// Candidates seeded at ∅ on a relation with no valid FDs at low levels
+	// force a quick switch with a tight threshold.
+	r := rand.New(rand.NewSource(17))
+	rel := randomRelation(r, 60, 5, 2)
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	ind := inductor.New(rel.NumCols())
+	v := New(ix, ind.Tree(), WithInvalidThreshold(0.01))
+	res := v.Run(false)
+	if res.Done {
+		t.Skip("relation validated in one go; no switch to observe")
+	}
+	if len(res.Suggestions) == 0 {
+		t.Fatal("switch without suggestions")
+	}
+	if res.InvalidFds == 0 {
+		t.Fatal("switch without invalid candidates")
+	}
+	// Every suggestion must be a genuine record pair.
+	for _, p := range res.Suggestions {
+		if p.A == p.B || int(p.A) >= rel.NumRows() || int(p.B) >= rel.NumRows() {
+			t.Fatalf("bogus suggestion %+v", p)
+		}
+	}
+	// Resuming exhaustively must finish the job correctly.
+	res2 := v.Run(true)
+	if !res2.Done {
+		t.Fatal("resumed run did not finish")
+	}
+	got := ind.Tree().FDs()
+	want := fd.BruteForce(rel, relation.NullEqualsNull)
+	if !got.Equal(want) {
+		t.Fatalf("after resume:\nmissing: %v\nextra: %v", want.Diff(got), got.Diff(want))
+	}
+}
+
+func TestValidatorRespectsMaxLhs(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	rel := randomRelation(r, 25, 7, 2)
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	ind := inductor.New(rel.NumCols())
+	ind.Tree().SetMaxLhs(2)
+	v := New(ix, ind.Tree(), WithThreads(1))
+	if !v.Run(true).Done {
+		t.Fatal("bounded run did not finish")
+	}
+	for _, f := range ind.Tree().FDs().All() {
+		if f.Lhs.Cardinality() > 2 {
+			t.Fatalf("FD %v exceeds bound", f)
+		}
+		if !fd.Holds(rel, relation.NullEqualsNull, f.Lhs, f.Rhs) {
+			t.Fatalf("invalid FD %v", f)
+		}
+	}
+}
+
+func TestValidatorOnEmptyTreeLevels(t *testing.T) {
+	// A tree whose candidates were all eliminated: Run must terminate
+	// immediately and report Done.
+	rel := buildRel([][]string{{"1"}, {"2"}}, []string{"A"})
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	tree := fdtree.New(1)
+	tree.Remove(bitset.New(1), 0) // no-op; tree empty
+	v := New(ix, tree)
+	res := v.Run(false)
+	if !res.Done || res.ValidFds != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestIntersectionValidationMatchesDirect: the ablation checker must agree
+// with the direct refinement checks and with brute force.
+func TestIntersectionValidationMatchesDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		rel := randomRelation(r, 5+r.Intn(40), 2+r.Intn(4), 1+r.Intn(4))
+		ix := pli.NewIndex(rel, relation.NullEqualsNull)
+		ind := inductor.New(rel.NumCols())
+		v := New(ix, ind.Tree(), WithIntersectionValidation())
+		if !v.Run(true).Done {
+			t.Fatal("intersection run did not finish")
+		}
+		got := ind.Tree().FDs()
+		want := fd.BruteForce(rel, relation.NullEqualsNull)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d:\nmissing: %v\nextra: %v", trial, want.Diff(got), got.Diff(want))
+		}
+	}
+}
+
+// TestIntersectionSuggestionsAreViolations: witnesses extracted from
+// partitions must actually violate some candidate.
+func TestIntersectionSuggestionsAreViolations(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	rel := randomRelation(r, 50, 5, 2)
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	ind := inductor.New(rel.NumCols())
+	v := New(ix, ind.Tree(), WithIntersectionValidation(), WithInvalidThreshold(0.001))
+	res := v.Run(false)
+	for _, p := range res.Suggestions {
+		if p.A == p.B || int(p.A) >= rel.NumRows() || int(p.B) >= rel.NumRows() {
+			t.Fatalf("bogus suggestion %+v", p)
+		}
+	}
+}
+
+func BenchmarkValidatorExhaustive(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	rel := randomRelation(r, 1000, 8, 4)
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ind := inductor.New(rel.NumCols())
+		v := New(ix, ind.Tree())
+		if !v.Run(true).Done {
+			b.Fatal("did not finish")
+		}
+	}
+}
+
+func BenchmarkRefines(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	rel := randomRelation(r, 5000, 10, 8)
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	ck := newChecker(ix)
+	lhs := bitset.FromIndices(10, 1, 3, 5)
+	rhss := lhs.Flip()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ck.refines(lhs, rhss)
+	}
+}

@@ -1,0 +1,55 @@
+package hyfd
+
+import (
+	"sort"
+
+	"hyfd/internal/algorithms"
+	"hyfd/internal/algorithms/depminer"
+	"hyfd/internal/algorithms/dfd"
+	"hyfd/internal/algorithms/fastfds"
+	"hyfd/internal/algorithms/fdep"
+	"hyfd/internal/algorithms/fdmine"
+	"hyfd/internal/algorithms/fun"
+	"hyfd/internal/algorithms/tane"
+)
+
+// Canonical algorithm names, matching the paper's spelling (Table 1).
+const (
+	AlgorithmHyFD     = "HyFD"
+	AlgorithmTane     = "Tane"
+	AlgorithmFun      = "Fun"
+	AlgorithmFDMine   = "FD_Mine"
+	AlgorithmDfd      = "Dfd"
+	AlgorithmDepMiner = "Dep-Miner"
+	AlgorithmFastFDs  = "FastFDs"
+	AlgorithmFdep     = "Fdep"
+)
+
+// registry maps names to baseline implementations. HyFD itself is
+// dispatched separately because it takes richer options.
+var registry = map[string]algorithms.Algorithm{
+	AlgorithmTane:     tane.New(),
+	AlgorithmFun:      fun.New(),
+	AlgorithmFDMine:   fdmine.New(),
+	AlgorithmDfd:      dfd.New(1),
+	AlgorithmDepMiner: depminer.New(),
+	AlgorithmFastFDs:  fastfds.New(),
+	AlgorithmFdep:     fdep.New(),
+}
+
+// Algorithms lists all available algorithm names: HyFD plus the seven
+// baselines of the paper's evaluation, sorted with HyFD first and the rest
+// in the paper's column order.
+func Algorithms() []string {
+	names := []string{AlgorithmHyFD}
+	rest := make([]string, 0, len(registry))
+	for name := range registry {
+		rest = append(rest, name)
+	}
+	order := map[string]int{
+		AlgorithmTane: 0, AlgorithmFun: 1, AlgorithmFDMine: 2, AlgorithmDfd: 3,
+		AlgorithmDepMiner: 4, AlgorithmFastFDs: 5, AlgorithmFdep: 6,
+	}
+	sort.Slice(rest, func(i, j int) bool { return order[rest[i]] < order[rest[j]] })
+	return append(names, rest...)
+}
