@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the repository's gate: everything must compile, pass vet, and
+# pass the full test suite under the race detector.
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

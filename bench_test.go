@@ -8,6 +8,7 @@
 package hyfd_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -221,7 +222,7 @@ func BenchmarkAblations(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var comparisons int64
 			for i := 0; i < b.N; i++ {
-				_, stats, err := core.Discover(rel, v.cfg)
+				_, stats, err := core.Discover(context.Background(), rel, v.cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -60,7 +61,12 @@ func (d *driver) runOne(job harness.Spec) harness.Result {
 	}
 	var r harness.Result
 	if d.inProc {
-		r = harness.ExecuteInProcess(job)
+		// The context deadline gives in-process runs a real TL: the engine's
+		// cancellation checkpoints abort the run and the harness reports it
+		// as timed out. ML stays unenforced in this mode.
+		ctx, cancel := context.WithTimeout(context.Background(), d.timeout)
+		r = harness.ExecuteInProcessContext(ctx, job)
+		cancel()
 	} else {
 		r = d.runSubprocess(job)
 	}

@@ -29,7 +29,7 @@ func main() {
 		exp        = flag.String("exp", "all", "experiments to run: all or comma list of fig6,fig7,table1,table2,table3,fig8")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-run time limit (TL)")
 		memLimitMB = flag.Int("memlimit-mb", 8192, "per-run memory limit in MB (ML)")
-		inprocess  = flag.Bool("inprocess", false, "run jobs in-process (no TL/ML enforcement; useful without exec permissions)")
+		inprocess  = flag.Bool("inprocess", false, "run jobs in-process (TL enforced via context deadlines, no ML enforcement; useful without exec permissions)")
 
 		fig6Rows   = flag.Int("fig6-max-rows", 0, "override Fig 6 max rows")
 		fig7Cols   = flag.Int("fig7-max-cols", 0, "override Fig 7 max cols")

@@ -14,15 +14,18 @@
 //	hyfd -stats data.csv
 //	hyfd -algorithm Tane -sep ';' -null-literal NULL data.csv
 //	hyfd -threads 8 -max-lhs 4 wide.csv
+//	hyfd -progress -timeout 30s big.csv
 //	hyfd -uccs -keys -bcnf orders.csv
 //	hyfd -approx 0.05 dirty.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hyfd"
 	"hyfd/internal/closure"
@@ -37,8 +40,10 @@ func main() {
 		nullNeq     = flag.Bool("null-neq", false, "use null≠null semantics instead of the default null=null")
 		threads     = flag.Int("threads", 1, "validation worker threads (HyFD only)")
 		threshold   = flag.Float64("threshold", 0, "efficiency threshold, 0 = paper default 0.01 (HyFD only)")
-		maxLhs      = flag.Int("max-lhs", 0, "limit result LHS size, 0 = unbounded (HyFD only)")
+		maxLhs      = flag.Int("max-lhs", 0, "limit result LHS size, 0 = unbounded")
 		memBudget   = flag.Int("memory-budget-mb", 0, "memory Guardian budget in MB, 0 = disabled (HyFD only)")
+		timeout     = flag.Duration("timeout", 0, "abort discovery after this duration (e.g. 30s), 0 = no limit")
+		progress    = flag.Bool("progress", false, "stream per-phase progress events to stderr (HyFD only)")
 		stats       = flag.Bool("stats", false, "print run statistics to stderr")
 		indices     = flag.Bool("indices", false, "print attribute indices instead of column names")
 		noFds       = flag.Bool("no-fds", false, "suppress the FD listing (useful with the flags below)")
@@ -81,7 +86,16 @@ func main() {
 		MaxLhsSize:          *maxLhs,
 		MemoryBudgetBytes:   *memBudget << 20,
 	}
-	result, err := hyfd.DiscoverWith(*algorithm, rel, opts)
+	if *progress {
+		opts.Observer = progressObserver(os.Stderr)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	result, err := hyfd.DiscoverWithContext(ctx, *algorithm, rel, opts)
 	fatalIf(err)
 
 	render := func(lhs hyfd.AttrSet) string {
@@ -155,6 +169,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "phase switches: %d, sampling rounds: %d\n", s.PhaseSwitches, s.SamplingRounds)
 			fmt.Fprintf(os.Stderr, "comparisons: %d, validations: %d, observations: %d\n",
 				s.Comparisons, s.Validations, s.Observations)
+			if s.TotalTime > 0 {
+				fmt.Fprintf(os.Stderr, "time: %s total (preprocessing %s, sampling %s, validation %s)\n",
+					s.TotalTime.Round(time.Millisecond), s.PreprocessingTime.Round(time.Millisecond),
+					s.SamplingTime.Round(time.Millisecond), s.ValidationTime.Round(time.Millisecond))
+			}
 			if !s.Complete {
 				fmt.Fprintf(os.Stderr, "NOTE: result pruned to LHS size <= %d (memory guardian / max-lhs)\n", s.MaxLhs)
 			}
@@ -162,9 +181,36 @@ func main() {
 	}
 }
 
+// progressObserver renders the engine's trace events as human-readable
+// progress lines.
+func progressObserver(w *os.File) hyfd.Observer {
+	return hyfd.ObserverFunc(func(e hyfd.Event) {
+		switch ev := e.(type) {
+		case hyfd.PreprocessingDone:
+			fmt.Fprintf(w, "preprocessed %d rows x %d cols in %s\n",
+				ev.Rows, ev.Cols, ev.Duration.Round(time.Millisecond))
+		case hyfd.SamplingRound:
+			fmt.Fprintf(w, "sampling round %d: %d new observations, %d comparisons (threshold %.4g) in %s\n",
+				ev.Round, ev.NewObservations, ev.Comparisons, ev.Threshold,
+				ev.Duration.Round(time.Millisecond))
+		case hyfd.PhaseSwitch:
+			fmt.Fprintf(w, "phase switch #%d: %s -> %s\n", ev.Switches, ev.From, ev.To)
+		case hyfd.ValidationLevel:
+			fmt.Fprintf(w, "validation level %d: %d candidates, %d valid, %d invalid in %s\n",
+				ev.Level, ev.Candidates, ev.Valid, ev.Invalid, ev.Duration.Round(time.Millisecond))
+		case hyfd.GuardianPrune:
+			fmt.Fprintf(w, "memory guardian: results pruned to LHS size <= %d (intervention #%d)\n",
+				ev.MaxLhs, ev.Interventions)
+		case hyfd.Done:
+			fmt.Fprintf(w, "done: %d FDs in %s\n", ev.FDs, ev.Duration.Round(time.Millisecond))
+		}
+	})
+}
+
 func fatalIf(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hyfd:", err)
+		msg := strings.TrimPrefix(err.Error(), "hyfd: ")
+		fmt.Fprintln(os.Stderr, "hyfd:", msg)
 		os.Exit(1)
 	}
 }

@@ -95,6 +95,46 @@ func TestCLIEndToEnd(t *testing.T) {
 		}
 	})
 
+	t.Run("progress and stats timings", func(t *testing.T) {
+		out, err := exec.Command(bin, "-progress", "-stats", "-no-fds", csv).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"preprocessed", "sampling round", "done:", "time:"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("missing %q in progress output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("generous timeout succeeds", func(t *testing.T) {
+		out, err := exec.Command(bin, "-timeout", "1m", csv).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "[Zip] -> City") {
+			t.Fatalf("missing FD in output:\n%s", out)
+		}
+	})
+
+	t.Run("expired timeout fails with deadline error", func(t *testing.T) {
+		// A huge duplicated relation so the O(n²) Fdep run cannot finish
+		// before the 1 ms deadline fires at the first checkpoint.
+		var b strings.Builder
+		b.WriteString("A,B,C\n")
+		for i := 0; i < 3000; i++ {
+			b.WriteString("1,2,3\n1,2,4\n2,2,4\n")
+		}
+		big := writeCSV(t, b.String())
+		out, err := exec.Command(bin, "-algorithm", "Fdep", "-timeout", "1ms", big).CombinedOutput()
+		if err == nil {
+			t.Fatalf("expired timeout accepted:\n%s", out)
+		}
+		if !strings.Contains(string(out), "deadline exceeded") {
+			t.Fatalf("missing deadline error:\n%s", out)
+		}
+	})
+
 	t.Run("bad input fails", func(t *testing.T) {
 		if err := exec.Command(bin, filepath.Join(t.TempDir(), "missing.csv")).Run(); err == nil {
 			t.Fatal("missing file accepted")

@@ -28,16 +28,24 @@
 package hyfd
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
 	"hyfd/internal/afd"
+	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
 	"hyfd/internal/core"
 	"hyfd/internal/fd"
 	"hyfd/internal/relation"
 	"hyfd/internal/ucc"
 )
+
+// ErrUnknownAlgorithm is returned (wrapped) by DiscoverWith and
+// DiscoverWithContext when the algorithm name is not registered; test with
+// errors.Is.
+var ErrUnknownAlgorithm = errors.New("unknown algorithm")
 
 // Relation is a named relational instance (schema + rows of string cells).
 type Relation = relation.Relation
@@ -105,6 +113,10 @@ type Options struct {
 	MaxLhsSize int
 	// MemoryBudgetBytes arms the memory Guardian (§9); 0 disables it.
 	MemoryBudgetBytes int
+	// Observer, when non-nil, receives trace events as the run progresses
+	// (see observer.go for the event vocabulary). Events are delivered
+	// synchronously from the engine's coordinating goroutine.
+	Observer Observer
 }
 
 // Stats is the telemetry of one discovery run.
@@ -122,14 +134,25 @@ type Result struct {
 	Stats *Stats
 }
 
-// Discover runs HyFD on the relation.
+// Discover runs HyFD on the relation. It is shorthand for DiscoverContext
+// with a background context.
 func Discover(rel *Relation, opts Options) (*Result, error) {
-	set, stats, err := core.Discover(rel, core.Config{
+	return DiscoverContext(context.Background(), rel, opts)
+}
+
+// DiscoverContext runs HyFD on the relation under the given context.
+// Cancellation checkpoints sit inside every long-running engine loop; once
+// ctx is canceled or its deadline passes, the run returns promptly with an
+// error wrapping ctx.Err() (test with errors.Is against context.Canceled or
+// context.DeadlineExceeded).
+func DiscoverContext(ctx context.Context, rel *Relation, opts Options) (*Result, error) {
+	set, stats, err := core.Discover(ctx, rel, core.Config{
 		NullSemantics:       opts.NullSemantics,
 		EfficiencyThreshold: opts.EfficiencyThreshold,
 		Threads:             opts.Threads,
 		MaxLhsSize:          opts.MaxLhsSize,
 		MemoryBudgetBytes:   opts.MemoryBudgetBytes,
+		Observer:            opts.Observer,
 	})
 	if err != nil {
 		return nil, err
@@ -137,22 +160,45 @@ func Discover(rel *Relation, opts Options) (*Result, error) {
 	return &Result{FDs: set.All(), Set: set, Stats: stats}, nil
 }
 
-// DiscoverWith runs the named algorithm instead of HyFD; see Algorithms for
-// the available names. HyFD options other than NullSemantics apply only to
-// "HyFD" itself.
+// DiscoverWith runs the named algorithm instead of HyFD; it is shorthand
+// for DiscoverWithContext with a background context.
 func DiscoverWith(algorithm string, rel *Relation, opts Options) (*Result, error) {
+	return DiscoverWithContext(context.Background(), algorithm, rel, opts)
+}
+
+// DiscoverWithContext runs the named algorithm under the given context; see
+// Algorithms for the available names. The baselines honor NullSemantics and
+// MaxLhsSize and share the engine's cancellation contract; the remaining
+// options (thresholds, threads, memory budget, observer) apply only to
+// "HyFD" itself. An unregistered name returns an error wrapping
+// ErrUnknownAlgorithm.
+func DiscoverWithContext(ctx context.Context, algorithm string, rel *Relation, opts Options) (*Result, error) {
 	if algorithm == AlgorithmHyFD {
-		return Discover(rel, opts)
+		return DiscoverContext(ctx, rel, opts)
 	}
 	alg, ok := registry[algorithm]
 	if !ok {
-		return nil, fmt.Errorf("hyfd: unknown algorithm %q (available: %v)", algorithm, Algorithms())
+		return nil, fmt.Errorf("hyfd: %w %q (available: %v)", ErrUnknownAlgorithm, algorithm, Algorithms())
 	}
-	set, err := alg.Discover(rel, opts.NullSemantics)
+	set, err := alg.Discover(ctx, rel, algorithms.Config{
+		NullSemantics: opts.NullSemantics,
+		MaxLhsSize:    opts.MaxLhsSize,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{FDs: set.All(), Set: set}, nil
+	stats := &Stats{
+		Rows:     rel.NumRows(),
+		Cols:     rel.NumCols(),
+		FDCount:  set.Size(),
+		MaxLhs:   rel.NumCols(),
+		Complete: true,
+	}
+	if opts.MaxLhsSize > 0 {
+		stats.MaxLhs = opts.MaxLhsSize
+		stats.Complete = false
+	}
+	return &Result{FDs: set.All(), Set: set, Stats: stats}, nil
 }
 
 // ApproximateFD is an approximate functional dependency with its g3 error:

@@ -7,13 +7,21 @@
 package agreeset
 
 import (
+	"context"
+
 	"hyfd/internal/bitset"
 	"hyfd/internal/pli"
 )
 
+// cancelStride bounds how many record pairs may pass between two context
+// checks; the pair enumeration is the O(n²) heart of the difference-set
+// family, so it carries its own checkpoints.
+const cancelStride = 4096
+
 // Compute returns the distinct agree sets of all record pairs of the
-// indexed relation.
-func Compute(ix *pli.Index) []bitset.Set {
+// indexed relation. The context is checked every cancelStride pairs; a
+// canceled computation returns ctx.Err() promptly.
+func Compute(ctx context.Context, ix *pli.Index) ([]bitset.Set, error) {
 	n := int64(ix.NumRows)
 	totalPairs := n * (n - 1) / 2
 
@@ -45,9 +53,17 @@ func Compute(ix *pli.Index) []bitset.Set {
 		out = append(out, agree)
 	}
 
+	var pairs, nextCheck int64
 	for _, p := range ix.Plis {
 		for _, cluster := range p.Clusters {
 			for i := 0; i < len(cluster); i++ {
+				if pairs >= nextCheck {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					nextCheck = pairs + cancelStride
+				}
+				pairs += int64(len(cluster) - i - 1)
 				for j := i + 1; j < len(cluster); j++ {
 					addPair(cluster[i], cluster[j])
 				}
@@ -63,7 +79,7 @@ func Compute(ix *pli.Index) []bitset.Set {
 			out = append(out, empty)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DifferenceSets returns the complements of the agree sets: the attribute

@@ -1,6 +1,8 @@
 package agreeset
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -21,6 +23,17 @@ func index(rows [][]string, cols int) *pli.Index {
 		rel.AppendRow(r)
 	}
 	return pli.NewIndex(rel, relation.NullEqualsNull)
+}
+
+// compute runs Compute under a background context, failing the test on
+// error.
+func compute(tb testing.TB, ix *pli.Index) []bitset.Set {
+	tb.Helper()
+	out, err := Compute(context.Background(), ix)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
 }
 
 // naiveAgreeSets computes the distinct agree sets by comparing all pairs of
@@ -47,7 +60,7 @@ func TestComputeSimple(t *testing.T) {
 		{"1", "4", "5"},
 		{"6", "4", "3"},
 	}
-	got := Compute(index(rows, 3))
+	got := compute(t, index(rows, 3))
 	want := naiveAgreeSets(rows, 3)
 	if len(got) != len(want) {
 		t.Fatalf("got %d agree sets, want %d: %v", len(got), len(want), got)
@@ -65,17 +78,17 @@ func TestComputeEmptyAgreeSetDetected(t *testing.T) {
 		{"1", "2"},
 		{"3", "4"},
 	}
-	got := Compute(index(rows, 2))
+	got := compute(t, index(rows, 2))
 	if len(got) != 1 || !got[0].IsEmpty() {
 		t.Fatalf("agree sets = %v, want only ∅", got)
 	}
 }
 
 func TestComputeNoPairs(t *testing.T) {
-	if got := Compute(index(nil, 2)); len(got) != 0 {
+	if got := compute(t, index(nil, 2)); len(got) != 0 {
 		t.Fatalf("agree sets of empty relation = %v", got)
 	}
-	if got := Compute(index([][]string{{"1", "2"}}, 2)); len(got) != 0 {
+	if got := compute(t, index([][]string{{"1", "2"}}, 2)); len(got) != 0 {
 		t.Fatalf("agree sets of single row = %v", got)
 	}
 }
@@ -92,7 +105,10 @@ func TestQuickComputeMatchesNaive(t *testing.T) {
 			}
 			rows[i] = row
 		}
-		got := Compute(index(rows, cols))
+		got, err := Compute(context.Background(), index(rows, cols))
+		if err != nil {
+			return false
+		}
 		want := naiveAgreeSets(rows, cols)
 		if len(got) != len(want) {
 			return false
@@ -106,6 +122,19 @@ func TestQuickComputeMatchesNaive(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestComputeCanceledContext(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	rows := make([][]string, 80)
+	for i := range rows {
+		rows[i] = []string{strconv.Itoa(r.Intn(3)), strconv.Itoa(r.Intn(4))}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Compute(ctx, index(rows, 2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

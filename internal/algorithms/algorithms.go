@@ -3,18 +3,64 @@
 // traversal family (TANE, FUN, FD_Mine, DFD), the difference-/agree-set
 // family (Dep-Miner, FastFDs) and the dependency induction family (FDEP).
 // Each lives in its own subpackage and implements the same contract:
-// discover all minimal, non-trivial FDs of a relation.
+// discover all minimal, non-trivial FDs of a relation, honoring the
+// caller's context (cancellation checkpoints sit inside every long-running
+// loop) and the shared Config.
 package algorithms
 
 import (
+	"context"
+	"fmt"
+
 	"hyfd/internal/fd"
 	"hyfd/internal/relation"
 )
+
+// Config carries the cross-algorithm discovery parameters. The zero value
+// selects null=null semantics and unbounded LHS sizes.
+type Config struct {
+	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥ comparisons.
+	NullSemantics relation.NullSemantics
+	// MaxLhsSize bounds result LHS cardinality (0 = unbounded). The result
+	// is then exactly the minimal FDs with |LHS| ≤ MaxLhsSize: a truncation
+	// of the complete result, never an approximation of it.
+	MaxLhsSize int
+}
 
 // Algorithm is the common contract of all FD discovery implementations.
 type Algorithm interface {
 	// Name returns the algorithm's canonical name as used in the paper.
 	Name() string
-	// Discover returns all minimal, non-trivial FDs of the relation.
-	Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error)
+	// Discover returns all minimal, non-trivial FDs of the relation,
+	// subject to cfg. Implementations check ctx at their cancellation
+	// checkpoints and return an error wrapping ctx.Err() promptly once the
+	// context is canceled or its deadline passes.
+	Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set, error)
+}
+
+// Canceled converts a context cancellation into the error contract of
+// Algorithm.Discover: nil while the context is live, otherwise an error
+// wrapping ctx.Err(). Baselines call it at every checkpoint.
+func Canceled(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: discovery interrupted: %w", name, err)
+	}
+	return nil
+}
+
+// Truncate returns the subset of the FDs whose LHS has at most max
+// attributes; max <= 0 returns the set unchanged. Minimal FDs within the
+// bound are unaffected by dropping larger ones, so the truncation is
+// complete up to max.
+func Truncate(set *fd.Set, max int) *fd.Set {
+	if max <= 0 {
+		return set
+	}
+	out := fd.NewSet(set.Universe())
+	for _, f := range set.All() {
+		if f.Lhs.Cardinality() <= max {
+			out.Add(f)
+		}
+	}
+	return out
 }

@@ -6,6 +6,8 @@
 package algotest
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -48,7 +50,7 @@ func ClassRelation() *relation.Relation {
 // check asserts the algorithm reproduces the brute-force result.
 func check(t *testing.T, alg algorithms.Algorithm, rel *relation.Relation, ns relation.NullSemantics) {
 	t.Helper()
-	got, err := alg.Discover(rel, ns)
+	got, err := alg.Discover(context.Background(), rel, algorithms.Config{NullSemantics: ns})
 	if err != nil {
 		t.Fatalf("%s on %s: %v", alg.Name(), rel.Name, err)
 	}
@@ -143,5 +145,34 @@ func RunConformance(t *testing.T, alg algorithms.Algorithm, seed int64) {
 		rel := RandomRelation(r, 12, 7, 2)
 		rel.Name = "wide-sparse"
 		check(t, alg, rel, relation.NullEqualsNull)
+	})
+
+	t.Run("max lhs size", func(t *testing.T) {
+		r := rand.New(rand.NewSource(seed + 2))
+		rel := RandomRelation(r, 20, 5, 2)
+		rel.Name = "bounded-lhs"
+		full := fd.BruteForce(rel, relation.NullEqualsNull)
+		for max := 1; max <= 3; max++ {
+			got, err := alg.Discover(context.Background(), rel, algorithms.Config{MaxLhsSize: max})
+			if err != nil {
+				t.Fatalf("%s max=%d: %v", alg.Name(), max, err)
+			}
+			want := algorithms.Truncate(full, max)
+			if !got.Equal(want) {
+				t.Fatalf("%s max=%d:\nmissing: %v\nextra: %v",
+					alg.Name(), max, want.Diff(got), got.Diff(want))
+			}
+		}
+	})
+
+	t.Run("canceled context", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		r := rand.New(rand.NewSource(seed + 3))
+		rel := RandomRelation(r, 60, 5, 3)
+		rel.Name = "canceled"
+		if _, err := alg.Discover(ctx, rel, algorithms.Config{}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", alg.Name(), err)
+		}
 	})
 }

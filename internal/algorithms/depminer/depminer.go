@@ -8,6 +8,10 @@
 package depminer
 
 import (
+	"context"
+	"fmt"
+
+	"hyfd/internal/algorithms"
 	"hyfd/internal/algorithms/agreeset"
 	"hyfd/internal/algorithms/hitset"
 	"hyfd/internal/bitset"
@@ -25,8 +29,12 @@ func New() *DepMiner { return &DepMiner{} }
 // Name implements algorithms.Algorithm.
 func (*DepMiner) Name() string { return "Dep-Miner" }
 
-// Discover implements algorithms.Algorithm.
-func (*DepMiner) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error) {
+// Discover implements algorithms.Algorithm. The pair enumeration carries
+// its own cancellation checkpoints (see agreeset.Compute); the transversal
+// phase checks the context once per RHS attribute. A MaxLhsSize bound is
+// applied to the finished result — the transversal enumeration is already
+// level-wise minimal, so dropping deep LHSs afterwards loses nothing.
+func (*DepMiner) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,10 +43,16 @@ func (*DepMiner) Discover(rel *relation.Relation, ns relation.NullSemantics) (*f
 	if m == 0 {
 		return out, nil
 	}
-	ix := pli.NewIndex(rel, ns)
-	ag := agreeset.Compute(ix)
+	ix := pli.NewIndex(rel, cfg.NullSemantics)
+	ag, err := agreeset.Compute(ctx, ix)
+	if err != nil {
+		return nil, fmt.Errorf("Dep-Miner: discovery interrupted: %w", err)
+	}
 
 	for a := 0; a < m; a++ {
+		if err := algorithms.Canceled(ctx, "Dep-Miner"); err != nil {
+			return nil, err
+		}
 		// max(ag, A): maximal agree sets not containing A.
 		var notA []bitset.Set
 		for _, s := range ag {
@@ -57,5 +71,5 @@ func (*DepMiner) Discover(rel *relation.Relation, ns relation.NullSemantics) (*f
 			out.Add(fd.FD{Lhs: lhs, Rhs: a})
 		}
 	}
-	return out, nil
+	return algorithms.Truncate(out, cfg.MaxLhsSize), nil
 }

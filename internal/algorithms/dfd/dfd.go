@@ -10,8 +10,10 @@
 package dfd
 
 import (
+	"context"
 	"math/rand"
 
+	"hyfd/internal/algorithms"
 	"hyfd/internal/algorithms/hitset"
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
@@ -31,8 +33,11 @@ func New(seed int64) *DFD { return &DFD{seed: seed} }
 // Name implements algorithms.Algorithm.
 func (*DFD) Name() string { return "Dfd" }
 
-// Discover implements algorithms.Algorithm.
-func (d *DFD) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error) {
+// Discover implements algorithms.Algorithm. The context is checked at
+// every walk step (each step may cost a partition intersection); a
+// MaxLhsSize bound is applied to the finished result, since random walks
+// classify lattice nodes in an order a level cutoff cannot bound.
+func (d *DFD) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
@@ -42,7 +47,7 @@ func (d *DFD) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.S
 		return out, nil
 	}
 	n := rel.NumRows()
-	plis := pli.BuildAll(rel, ns)
+	plis := pli.BuildAll(rel, cfg.NullSemantics)
 	cache := pli.NewCache(plis, n)
 	rng := rand.New(rand.NewSource(d.seed))
 
@@ -52,27 +57,36 @@ func (d *DFD) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.S
 	}
 
 	for rhs := 0; rhs < m; rhs++ {
+		if err := algorithms.Canceled(ctx, "Dfd"); err != nil {
+			return nil, err
+		}
 		// ∅ → rhs: constant column; the search for larger LHSs is moot.
 		if pli.PartitionOf(plis[rhs]).Error() == emptyError {
 			out.Add(fd.FD{Lhs: bitset.New(m), Rhs: rhs})
 			continue
 		}
 		w := &walker{
+			ctx:   ctx,
 			m:     m,
 			rhs:   rhs,
 			cache: cache,
 			rng:   rng,
 			memo:  make(map[string]bool),
 		}
-		for _, lhs := range w.findMinimalDeps() {
+		minDeps, err := w.findMinimalDeps()
+		if err != nil {
+			return nil, err
+		}
+		for _, lhs := range minDeps {
 			out.Add(fd.FD{Lhs: lhs, Rhs: rhs})
 		}
 	}
-	return out, nil
+	return algorithms.Truncate(out, cfg.MaxLhsSize), nil
 }
 
 // walker runs the lattice walk for one RHS attribute.
 type walker struct {
+	ctx   context.Context
 	m     int
 	rhs   int
 	cache *pli.Cache
@@ -135,39 +149,46 @@ func (w *walker) shuffledAttrs() []int {
 
 // findMinimalDeps drives walks until the duality check certifies that the
 // collected minimal dependencies are complete.
-func (w *walker) findMinimalDeps() []bitset.Set {
+func (w *walker) findMinimalDeps() ([]bitset.Set, error) {
 	seeds := make([]bitset.Set, 0, w.m-1)
 	for _, a := range w.shuffledAttrs() {
 		seeds = append(seeds, bitset.FromIndices(w.m, a))
 	}
 	for len(seeds) > 0 {
 		for _, seed := range seeds {
-			w.walk(seed)
+			if err := w.walk(seed); err != nil {
+				return nil, err
+			}
 		}
 		seeds = w.nextSeeds()
 	}
-	return w.minDeps
+	return w.minDeps, nil
 }
 
 // walk performs one random descent/ascent from the seed, recording a
 // minimal dependency or a maximal non-dependency. It always terminates: a
 // dependency node only ever moves to dependent subsets (strictly smaller),
-// a non-dependency only to non-dependent supersets (strictly larger).
-func (w *walker) walk(node bitset.Set) {
+// a non-dependency only to non-dependent supersets (strictly larger). Each
+// step checks the context, since a single classification may compute
+// partition intersections over the full relation.
+func (w *walker) walk(node bitset.Set) error {
 	for {
+		if err := algorithms.Canceled(w.ctx, "Dfd"); err != nil {
+			return err
+		}
 		if w.isDep(node) {
 			// Try to descend to a dependent immediate subset.
 			next, minimal := w.randomDepSubset(node)
 			if minimal {
 				w.recordMinDep(node)
-				return
+				return nil
 			}
 			node = next
 		} else {
 			next, maximal := w.randomNonDepSuperset(node)
 			if maximal {
 				w.recordMaxNonDep(node)
-				return
+				return nil
 			}
 			node = next
 		}

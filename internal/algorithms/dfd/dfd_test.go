@@ -1,11 +1,12 @@
 package dfd
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"hyfd/internal/algorithms"
 	"hyfd/internal/algorithms/algotest"
-	"hyfd/internal/relation"
 )
 
 func TestConformance(t *testing.T) {
@@ -17,12 +18,12 @@ func TestSeedIndependence(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 8; trial++ {
 		rel := algotest.RandomRelation(r, 30, 5, 3)
-		want, err := New(0).Discover(rel, relation.NullEqualsNull)
+		want, err := New(0).Discover(context.Background(), rel, algorithms.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for seed := int64(1); seed <= 5; seed++ {
-			got, err := New(seed).Discover(rel, relation.NullEqualsNull)
+			got, err := New(seed).Discover(context.Background(), rel, algorithms.Config{})
 			if err != nil {
 				t.Fatal(err)
 			}

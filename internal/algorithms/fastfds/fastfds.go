@@ -7,8 +7,11 @@
 package fastfds
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
+	"hyfd/internal/algorithms"
 	"hyfd/internal/algorithms/agreeset"
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
@@ -25,8 +28,12 @@ func New() *FastFDs { return &FastFDs{} }
 // Name implements algorithms.Algorithm.
 func (*FastFDs) Name() string { return "FastFDs" }
 
-// Discover implements algorithms.Algorithm.
-func (*FastFDs) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error) {
+// Discover implements algorithms.Algorithm. The pair enumeration carries
+// its own cancellation checkpoints (see agreeset.Compute); the DFS cover
+// search checks the context once per recursive call. A MaxLhsSize bound is
+// applied to the finished result, since the DFS emits covers in
+// heuristic — not level — order.
+func (*FastFDs) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,8 +42,11 @@ func (*FastFDs) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd
 	if m == 0 {
 		return out, nil
 	}
-	ix := pli.NewIndex(rel, ns)
-	ag := agreeset.Compute(ix)
+	ix := pli.NewIndex(rel, cfg.NullSemantics)
+	ag, err := agreeset.Compute(ctx, ix)
+	if err != nil {
+		return nil, fmt.Errorf("FastFDs: discovery interrupted: %w", err)
+	}
 	diffs := agreeset.DifferenceSets(m, ag)
 
 	for a := 0; a < m; a++ {
@@ -64,15 +74,18 @@ func (*FastFDs) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd
 			continue
 		}
 		dA = agreeset.Minimize(dA)
-		s := &search{m: m, rhs: a, diffs: dA, out: out}
+		s := &search{ctx: ctx, m: m, rhs: a, diffs: dA, out: out}
 		order := s.orderAttrs(dA, bitset.New(m))
-		s.findCovers(dA, bitset.New(m), order)
+		if err := s.findCovers(dA, bitset.New(m), order); err != nil {
+			return nil, err
+		}
 	}
-	return out, nil
+	return algorithms.Truncate(out, cfg.MaxLhsSize), nil
 }
 
 // search carries the per-RHS DFS state.
 type search struct {
+	ctx   context.Context
 	m     int
 	rhs   int
 	diffs []bitset.Set // the full (minimized) difference set collection
@@ -109,16 +122,19 @@ func (s *search) orderAttrs(remaining []bitset.Set, path bitset.Set) []int {
 // sets not yet hit by path; order is the current ordering of candidate
 // attributes (attributes after position i are the only ones considered in
 // the i-th branch, which prevents duplicate enumeration).
-func (s *search) findCovers(remaining []bitset.Set, path bitset.Set, order []int) {
+func (s *search) findCovers(remaining []bitset.Set, path bitset.Set, order []int) error {
+	if err := algorithms.Canceled(s.ctx, "FastFDs"); err != nil {
+		return err
+	}
 	if len(remaining) == 0 {
 		// path covers everything; emit only minimal covers.
 		if s.isMinimalCover(path) {
 			s.out.Add(fd.FD{Lhs: path, Rhs: s.rhs})
 		}
-		return
+		return nil
 	}
 	if len(order) == 0 {
-		return // uncovered sets remain but no attributes left
+		return nil // uncovered sets remain but no attributes left
 	}
 	for i, attr := range order {
 		var rest []bitset.Set
@@ -138,8 +154,11 @@ func (s *search) findCovers(remaining []bitset.Set, path bitset.Set, order []int
 		// Re-rank the tail by coverage of the reduced collection, keeping
 		// only attributes that still cover something.
 		reordered := s.reorder(tail, rest)
-		s.findCovers(rest, newPath, reordered)
+		if err := s.findCovers(rest, newPath, reordered); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // reorder keeps the tail attributes that cover at least one remaining set,

@@ -8,12 +8,19 @@
 package fdep
 
 import (
+	"context"
+
+	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
 	"hyfd/internal/inductor"
 	"hyfd/internal/pli"
 	"hyfd/internal/relation"
 )
+
+// cancelStride bounds how many record pairs the exhaustive comparison may
+// process between two context checks.
+const cancelStride = 4096
 
 // FDEP discovers FDs via exhaustive pairwise comparison and induction.
 type FDEP struct{}
@@ -24,8 +31,11 @@ func New() *FDEP { return &FDEP{} }
 // Name implements algorithms.Algorithm.
 func (*FDEP) Name() string { return "Fdep" }
 
-// Discover implements algorithms.Algorithm.
-func (*FDEP) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error) {
+// Discover implements algorithms.Algorithm. The O(n²) pair enumeration
+// checks the context every cancelStride pairs; a MaxLhsSize bound is pushed
+// into the positive cover's FDTree so specialization never materializes
+// LHSs beyond the bound (the same mechanism HyFD's Guardian uses).
+func (*FDEP) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,11 +45,20 @@ func (*FDEP) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Se
 	}
 	// Compress records first: comparing cluster ids is cheaper than
 	// comparing strings (the same optimization HyFD applies, §10.3).
-	ix := pli.NewIndex(rel, ns)
+	ix := pli.NewIndex(rel, cfg.NullSemantics)
 	seen := make(map[string]struct{})
 	var nonFds []bitset.Set
+	var pairs int64
+	nextCheck := int64(cancelStride)
 	for i := 0; i < ix.NumRows; i++ {
 		ri := ix.Records[i]
+		if pairs >= nextCheck {
+			if err := algorithms.Canceled(ctx, "Fdep"); err != nil {
+				return nil, err
+			}
+			nextCheck = pairs + cancelStride
+		}
+		pairs += int64(ix.NumRows - i - 1)
 		for j := i + 1; j < ix.NumRows; j++ {
 			rj := ix.Records[j]
 			agree := bitset.New(m)
@@ -56,7 +75,13 @@ func (*FDEP) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Se
 			nonFds = append(nonFds, agree)
 		}
 	}
+	if err := algorithms.Canceled(ctx, "Fdep"); err != nil {
+		return nil, err
+	}
 	ind := inductor.New(m)
+	if cfg.MaxLhsSize > 0 {
+		ind.Tree().SetMaxLhs(cfg.MaxLhsSize)
+	}
 	ind.Update(nonFds)
 	return ind.Tree().FDs(), nil
 }

@@ -8,6 +8,9 @@
 package fdmine
 
 import (
+	"context"
+
+	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
 	"hyfd/internal/fdtree"
@@ -24,8 +27,12 @@ func New() *FDMine { return &FDMine{} }
 // Name implements algorithms.Algorithm.
 func (*FDMine) Name() string { return "FD_Mine" }
 
-// Discover implements algorithms.Algorithm.
-func (*FDMine) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error) {
+// Discover implements algorithms.Algorithm. The context is checked once
+// per lattice node. FD_Mine emits LHSs of exactly the current level's
+// cardinality, so a MaxLhsSize bound stops the traversal after level
+// MaxLhsSize; the post-hoc minimization only consults shallower levels and
+// stays correct under the cutoff.
+func (*FDMine) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,7 +42,7 @@ func (*FDMine) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.
 		return out, nil
 	}
 	n := rel.NumRows()
-	plis := pli.BuildAll(rel, ns)
+	plis := pli.BuildAll(rel, cfg.NullSemantics)
 	inter := pli.NewIntersector(n)
 
 	emptyError := 0
@@ -88,9 +95,13 @@ func (*FDMine) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.
 		})
 	}
 
+	levelNum := 1
 	for len(level) > 0 {
 		var kept []*element
 		for _, el := range level {
+			if err := algorithms.Canceled(ctx, "FD_Mine"); err != nil {
+				return nil, err
+			}
 			// Closure computation: which RHSs does X determine?
 			for a := 0; a < m; a++ {
 				if el.attrs.Test(a) || constants.Test(a) {
@@ -110,6 +121,9 @@ func (*FDMine) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.
 				continue
 			}
 			kept = append(kept, el)
+		}
+		if cfg.MaxLhsSize > 0 && levelNum >= cfg.MaxLhsSize {
+			break
 		}
 
 		// Generate the next level in canonical order, applying equivalence
@@ -144,6 +158,7 @@ func (*FDMine) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.
 			}
 		}
 		level = next
+		levelNum++
 	}
 	return out.Minimize(), nil
 }

@@ -7,8 +7,10 @@
 package fun
 
 import (
+	"context"
 	"sort"
 
+	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
 	"hyfd/internal/pli"
@@ -24,8 +26,11 @@ func New() *FUN { return &FUN{} }
 // Name implements algorithms.Algorithm.
 func (*FUN) Name() string { return "Fun" }
 
-// Discover implements algorithms.Algorithm.
-func (*FUN) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error) {
+// Discover implements algorithms.Algorithm. The context is checked once
+// per free-set candidate; every FD FUN emits at level ℓ has a LHS of
+// exactly ℓ attributes, so a MaxLhsSize bound simply stops the traversal
+// after level MaxLhsSize.
+func (*FUN) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,7 +40,7 @@ func (*FUN) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set
 		return out, nil
 	}
 	n := rel.NumRows()
-	plis := pli.BuildAll(rel, ns)
+	plis := pli.BuildAll(rel, cfg.NullSemantics)
 	cnt := pli.NewCache(plis, n)
 
 	// ∅ → A for constant columns; such attributes can never be the RHS of
@@ -63,9 +68,13 @@ func (*FUN) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set
 			level = append(level, bitset.FromIndices(m, a))
 		}
 	}
+	levelNum := 1
 	for len(level) > 0 {
 		var freeLevel []bitset.Set
 		for _, x := range level {
+			if err := algorithms.Canceled(ctx, "Fun"); err != nil {
+				return nil, err
+			}
 			// x is free iff every immediate subset has smaller cardinality.
 			isFree := true
 			x.ForEach(func(a int) bool {
@@ -102,7 +111,11 @@ func (*FUN) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set
 				}
 			}
 		}
+		if cfg.MaxLhsSize > 0 && levelNum >= cfg.MaxLhsSize {
+			break
+		}
 		level = nextLevel(freeLevel, free, m)
+		levelNum++
 	}
 	return out, nil
 }

@@ -7,8 +7,10 @@
 package tane
 
 import (
+	"context"
 	"sort"
 
+	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
 	"hyfd/internal/pli"
@@ -33,8 +35,11 @@ type element struct {
 	partition *pli.Partition
 }
 
-// Discover implements algorithms.Algorithm.
-func (*TANE) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Set, error) {
+// Discover implements algorithms.Algorithm. The context is checked once
+// per lattice node; cancellation aborts the traversal with a wrapped
+// ctx.Err(). A MaxLhsSize bound additionally cuts the traversal off after
+// the level that can still contribute minimal FDs within the bound.
+func (*TANE) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,7 +49,7 @@ func (*TANE) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Se
 		return out, nil
 	}
 	n := rel.NumRows()
-	plis := pli.BuildAll(rel, ns)
+	plis := pli.BuildAll(rel, cfg.NullSemantics)
 	intersector := pli.NewIntersector(n)
 
 	// e(∅): the empty attribute set groups all records into one cluster.
@@ -72,12 +77,16 @@ func (*TANE) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Se
 		})
 	}
 
+	levelNum := 1
 	for len(level) > 0 {
 		curErr := make(map[string]int, len(level))
 		curCplus := make(map[string]bitset.Set, len(level))
 		curPart := make(map[string]*pli.Partition, len(level))
 		// compute_dependencies.
 		for _, el := range level {
+			if err := algorithms.Canceled(ctx, "Tane"); err != nil {
+				return nil, err
+			}
 			// C⁺(X) = ∩_{A∈X} C⁺(X\A).
 			cplus := allAttrs
 			el.attrs.ForEach(func(a int) bool {
@@ -146,15 +155,22 @@ func (*TANE) Discover(rel *relation.Relation, ns relation.NullSemantics) (*fd.Se
 			kept = append(kept, el)
 		}
 
+		// Level max+1 is the last that matters under a LHS bound:
+		// compute_dependencies at level ℓ emits LHS sizes ℓ-1, so deeper
+		// levels only produce FDs the bound excludes anyway.
+		if cfg.MaxLhsSize > 0 && levelNum > cfg.MaxLhsSize {
+			break
+		}
 		// apriori-gen: join nodes sharing all but their largest attribute;
 		// partitions of the next level come from intersecting the
 		// generating pair's partitions.
 		level = aprioriGen(kept, intersector)
+		levelNum++
 		prevErr = curErr
 		prevCplus = curCplus
 		prevPart = curPart
 	}
-	return out, nil
+	return algorithms.Truncate(out, cfg.MaxLhsSize), nil
 }
 
 // aprioriGen builds the next level: combine pairs that differ only in their

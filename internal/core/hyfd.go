@@ -6,7 +6,10 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"time"
 
 	"hyfd/internal/fd"
 	"hyfd/internal/guardian"
@@ -14,6 +17,7 @@ import (
 	"hyfd/internal/pli"
 	"hyfd/internal/relation"
 	"hyfd/internal/sampler"
+	"hyfd/internal/trace"
 	"hyfd/internal/validator"
 )
 
@@ -36,6 +40,11 @@ type Config struct {
 	// estimated footprint exceeds the budget, the largest-LHS results are
 	// discarded (0 = Guardian disabled).
 	MemoryBudgetBytes int
+	// Observer, when non-nil, receives trace events as the run progresses:
+	// preprocessing, sampling rounds, phase switches, validation levels,
+	// Guardian interventions, and completion. Events arrive synchronously
+	// from the coordinating goroutine, in run order.
+	Observer trace.Observer
 
 	// Ablation switches. These disable individual HyFD design decisions so
 	// the benchmark suite can quantify their contribution; none of them
@@ -75,11 +84,48 @@ type Stats struct {
 	Complete bool
 	// MaxLhs is the final LHS bound (== Cols when unbounded).
 	MaxLhs int
+
+	// Wall-clock per-phase timings, sourced from the run's trace events:
+	// PreprocessingTime covers PLI and compressed-record construction,
+	// SamplingTime sums the Phase 1 rounds (sampling + induction),
+	// ValidationTime sums the Phase 2 levels, and TotalTime covers the
+	// whole run.
+	PreprocessingTime time.Duration
+	SamplingTime      time.Duration
+	ValidationTime    time.Duration
+	TotalTime         time.Duration
+}
+
+// statsTimers is the engine's internal observer: it folds the duration
+// carried by each trace event back into the run's Stats, so the public
+// telemetry and any user observer are fed from the same event stream.
+type statsTimers struct{ stats *Stats }
+
+func (t statsTimers) Observe(e trace.Event) {
+	switch ev := e.(type) {
+	case trace.PreprocessingDone:
+		t.stats.PreprocessingTime = ev.Duration
+	case trace.SamplingRound:
+		t.stats.SamplingTime += ev.Duration
+	case trace.ValidationLevel:
+		t.stats.ValidationTime += ev.Duration
+	case trace.Done:
+		t.stats.TotalTime = ev.Duration
+	}
 }
 
 // Discover runs HyFD on the relation and returns all minimal, non-trivial
 // functional dependencies along with run telemetry.
-func Discover(rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
+//
+// The context is honored at cancellation checkpoints inside the sampler's
+// cluster-window loops and the validator's level traversal (including its
+// parallel workers): a canceled or expired context makes Discover return
+// promptly with an error wrapping ctx.Err(). A nil ctx is treated as
+// context.Background().
+func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rel == nil {
 		return nil, nil, errors.New("hyfd: nil relation")
 	}
@@ -91,9 +137,17 @@ func Discover(rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
 		stats.MaxLhs = 0
 		return fd.NewSet(0), stats, nil
 	}
+	obs := trace.Multi(statsTimers{stats}, cfg.Observer)
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, interrupted(err)
+	}
 
 	// Preprocessor (Alg. 1).
 	ix := pli.NewIndex(rel, cfg.NullSemantics)
+	trace.Emit(obs, trace.PreprocessingDone{
+		Rows: stats.Rows, Cols: stats.Cols, Duration: time.Since(start),
+	})
 
 	smp := sampler.New(ix, cfg.EfficiencyThreshold)
 	smp.SetUnfocused(cfg.UnfocusedSampling)
@@ -103,7 +157,7 @@ func Discover(rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
 		ind.Tree().SetMaxLhs(cfg.MaxLhsSize)
 		stats.Complete = false
 	}
-	vopts := []validator.Option{validator.WithThreads(cfg.Threads)}
+	vopts := []validator.Option{validator.WithThreads(cfg.Threads), validator.WithObserver(obs)}
 	if cfg.EfficiencyThreshold > 0 {
 		vopts = append(vopts, validator.WithInvalidThreshold(cfg.EfficiencyThreshold))
 	}
@@ -112,21 +166,49 @@ func Discover(rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
 	}
 	val := validator.New(ix, ind.Tree(), vopts...)
 	grd := guardian.New(ind.Tree(), cfg.MemoryBudgetBytes)
+	// checkGuardian runs the Guardian and reports any new intervention.
+	checkGuardian := func() {
+		before := grd.Interventions
+		grd.Check()
+		if grd.Interventions > before {
+			trace.Emit(obs, trace.GuardianPrune{
+				MaxLhs: grd.MaxLhs(), Interventions: grd.Interventions,
+			})
+		}
+	}
 
 	var suggestions []pli.Pair
 	for {
 		// Phase 1: focused sampling + induction.
-		newObs := smp.Run(suggestions)
+		roundStart := time.Now()
+		newObs, err := smp.Run(ctx, suggestions)
+		if err != nil {
+			return nil, nil, interrupted(err)
+		}
 		stats.SamplingRounds++
 		ind.Update(newObs)
-		grd.Check()
+		checkGuardian()
+		trace.Emit(obs, trace.SamplingRound{
+			Round:           stats.SamplingRounds,
+			NewObservations: len(newObs),
+			Comparisons:     smp.Comparisons,
+			Threshold:       smp.Threshold(),
+			Duration:        time.Since(roundStart),
+		})
+		trace.Emit(obs, trace.PhaseSwitch{
+			From: trace.PhaseSampling, To: trace.PhaseValidation,
+			Switches: stats.PhaseSwitches,
+		})
 
 		// Phase 2: level-wise validation. If sampling produced nothing
 		// new, another switch back could not improve the approximation,
 		// so validate exhaustively to guarantee termination.
 		exhaustive := len(newObs) == 0
-		res := val.Run(exhaustive)
-		grd.Check()
+		res, err := val.Run(ctx, exhaustive)
+		if err != nil {
+			return nil, nil, interrupted(err)
+		}
+		checkGuardian()
 		if res.Done {
 			break
 		}
@@ -135,6 +217,10 @@ func Discover(rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
 			suggestions = nil
 		}
 		stats.PhaseSwitches++
+		trace.Emit(obs, trace.PhaseSwitch{
+			From: trace.PhaseValidation, To: trace.PhaseSampling,
+			Switches: stats.PhaseSwitches,
+		})
 	}
 
 	stats.Comparisons = smp.Comparisons
@@ -146,5 +232,13 @@ func Discover(rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
 	}
 	fds := ind.Tree().FDs()
 	stats.FDCount = fds.Size()
+	trace.Emit(obs, trace.Done{FDs: stats.FDCount, Duration: time.Since(start)})
 	return fds, stats, nil
+}
+
+// interrupted wraps a context error into the engine's error contract;
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) keep working on the result.
+func interrupted(err error) error {
+	return fmt.Errorf("hyfd: discovery interrupted: %w", err)
 }

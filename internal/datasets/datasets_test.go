@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"context"
 	"testing"
 
 	"hyfd/internal/core"
@@ -85,7 +86,7 @@ func TestNullRate(t *testing.T) {
 
 func TestFDReducedConcentratesLowLevels(t *testing.T) {
 	rel := FDReduced(2000, 8, 0, 1)
-	fds, _, err := core.Discover(rel, core.Config{})
+	fds, _, err := core.Discover(context.Background(), rel, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestByName(t *testing.T) {
 func TestNCVoterAnalogHasRichFDStructure(t *testing.T) {
 	d, _ := ByName("ncvoter")
 	rel := d.Generate(1.0)
-	fds, _, err := core.Discover(rel, core.Config{})
+	fds, _, err := core.Discover(context.Background(), rel, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

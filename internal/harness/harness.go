@@ -7,6 +7,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -107,16 +109,29 @@ func Materialize(spec Spec) (*relation.Relation, error) {
 // the current process. Dataset generation time is excluded; peak heap is
 // sampled concurrently.
 func ExecuteInProcess(spec Spec) Result {
+	return ExecuteInProcessContext(context.Background(), spec)
+}
+
+// ExecuteInProcessContext is ExecuteInProcess under a caller context: a
+// deadline or cancellation aborts the measured run and is reported as a
+// timeout in the result.
+func ExecuteInProcessContext(ctx context.Context, spec Spec) Result {
 	rel, err := Materialize(spec)
 	if err != nil {
 		return Result{Spec: spec, Switches: -1, Err: err.Error()}
 	}
-	return Measure(spec, rel)
+	return MeasureContext(ctx, spec, rel)
 }
 
 // Measure runs the spec's algorithm against an already-materialized
 // relation.
 func Measure(spec Spec, rel *relation.Relation) Result {
+	return MeasureContext(context.Background(), spec, rel)
+}
+
+// MeasureContext is Measure under a caller context. A run aborted by the
+// context reports TimedOut with the elapsed time instead of an FD count.
+func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Result {
 	res := Result{Spec: spec, Switches: -1}
 
 	runtime.GC()
@@ -141,16 +156,23 @@ func Measure(spec Spec, rel *relation.Relation) Result {
 		}
 	}()
 
+	setErr := func(err error) {
+		res.Err = err.Error()
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			res.TimedOut = true
+		}
+	}
+
 	start := time.Now()
 	if spec.Algorithm == HyFDName {
-		set, stats, err := core.Discover(rel, core.Config{
+		set, stats, err := core.Discover(ctx, rel, core.Config{
 			Threads:             spec.Threads,
 			EfficiencyThreshold: spec.Threshold,
 			MaxLhsSize:          spec.MaxLhs,
 		})
 		res.Seconds = time.Since(start).Seconds()
 		if err != nil {
-			res.Err = err.Error()
+			setErr(err)
 		} else {
 			res.FDs = set.Size()
 			res.Switches = stats.PhaseSwitches
@@ -160,10 +182,10 @@ func Measure(spec Spec, rel *relation.Relation) Result {
 		if !ok {
 			res.Err = fmt.Sprintf("unknown algorithm %q", spec.Algorithm)
 		} else {
-			set, err := alg.Discover(rel, relation.NullEqualsNull)
+			set, err := alg.Discover(ctx, rel, algorithms.Config{MaxLhsSize: spec.MaxLhs})
 			res.Seconds = time.Since(start).Seconds()
 			if err != nil {
-				res.Err = err.Error()
+				setErr(err)
 			} else {
 				res.FDs = set.Size()
 			}

@@ -8,6 +8,7 @@ package sampler
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 	"sync"
 
@@ -18,6 +19,12 @@ import (
 // DefaultEfficiencyThreshold is the paper's recommended initial sampling
 // efficiency: one new FD-violation per 100 comparisons.
 const DefaultEfficiencyThreshold = 0.01
+
+// cancelStride bounds how many record-pair comparisons may pass between two
+// context checks inside a cluster scan; it keeps cancellation latency small
+// on datasets whose clusters span most of the relation while keeping the
+// per-comparison overhead negligible. Must be a power of two.
+const cancelStride = 4096
 
 // efficiency tracks the sampling performance of one attribute's sortation.
 type efficiency struct {
@@ -111,33 +118,51 @@ func (s *Sampler) Threshold() float64 { return s.threshold }
 // every attribute with a window of two; on later calls it halves the
 // efficiency threshold and replays the Validator's comparison suggestions
 // before resuming the progressive window search.
-func (s *Sampler) Run(suggestions []pli.Pair) []bitset.Set {
+//
+// The context is checked between clusters and every cancelStride
+// comparisons inside them; a canceled run returns ctx.Err() promptly and
+// leaves the sampler in a consistent (but unfinished) state.
+func (s *Sampler) Run(ctx context.Context, suggestions []pli.Pair) ([]bitset.Set, error) {
 	var newObs []bitset.Set
 	if !s.initialized {
 		s.initialized = true
-		s.sortClusters()
+		if err := s.sortClusters(ctx); err != nil {
+			return nil, err
+		}
 		s.queue = make(effQueue, 0, s.ix.NumCols)
 		for attr := 0; attr < s.ix.NumCols; attr++ {
 			e := &efficiency{attr: attr, window: 2}
-			s.runWindow(e, &newObs)
+			if err := s.runWindow(ctx, e, &newObs); err != nil {
+				return nil, err
+			}
 			heap.Push(&s.queue, e)
 		}
 	} else {
 		s.threshold /= 2
-		for _, sug := range suggestions {
+		for i, sug := range suggestions {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			s.match(sug.A, sug.B, &newObs)
 		}
 	}
 	for len(s.queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best := s.queue[0]
 		if best.eval() < s.threshold {
 			break
 		}
 		best.window++
-		s.runWindow(best, &newObs)
+		if err := s.runWindow(ctx, best, &newObs); err != nil {
+			return nil, err
+		}
 		heap.Fix(&s.queue, 0)
 	}
-	return newObs
+	return newObs, nil
 }
 
 // sortClusters builds, for every attribute, a private copy of its clusters
@@ -145,11 +170,14 @@ func (s *Sampler) Run(suggestions []pli.Pair) []bitset.Set {
 // the distinctness order (Fig. 3(1)): the left neighbor has more clusters
 // (a promising key), ties fall back to the right neighbor. Distinct sort
 // keys per attribute give each record a different neighborhood in each of
-// its clusters.
-func (s *Sampler) sortClusters() {
+// its clusters. The context is checked once per attribute.
+func (s *Sampler) sortClusters(ctx context.Context) error {
 	s.sorted = make([][][]int32, s.ix.NumCols)
 	pos := s.ix.Rank()
 	for attr := 0; attr < s.ix.NumCols; attr++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p := s.ix.Plis[attr]
 		if s.unfocused {
 			s.sorted[attr] = p.Clusters
@@ -184,6 +212,7 @@ func (s *Sampler) sortClusters() {
 		}
 		s.sorted[attr] = clusters
 	}
+	return nil
 }
 
 // runWindow compares every record to its (window-1)-distant successor in
@@ -191,17 +220,29 @@ func (s *Sampler) sortClusters() {
 // threads configured, clusters are matched by a worker pool; the workers
 // build raw agree-sets and the merge deduplicates sequentially, keeping
 // the observation order deterministic.
-func (s *Sampler) runWindow(e *efficiency, newObs *[]bitset.Set) {
+func (s *Sampler) runWindow(ctx context.Context, e *efficiency, newObs *[]bitset.Set) error {
 	before := len(*newObs)
 	comps := int64(0)
 	clusters := s.sorted[e.attr]
 	if s.threads > 1 && len(clusters) > 1 {
-		comps = s.runWindowParallel(e.window, clusters, newObs)
+		var err error
+		comps, err = s.runWindowParallel(ctx, e.window, clusters, newObs)
+		if err != nil {
+			return err
+		}
 	} else {
 		for _, cluster := range clusters {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			for i := 0; i+e.window-1 < len(cluster); i++ {
 				s.match(cluster[i], cluster[i+e.window-1], newObs)
 				comps++
+				if comps%cancelStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 			}
 		}
 	}
@@ -210,10 +251,14 @@ func (s *Sampler) runWindow(e *efficiency, newObs *[]bitset.Set) {
 	}
 	e.comps += comps
 	e.results += int64(len(*newObs) - before)
+	return nil
 }
 
 // runWindowParallel fans the clusters of one window run out over workers.
-func (s *Sampler) runWindowParallel(window int, clusters [][]int32, newObs *[]bitset.Set) int64 {
+// Workers re-check the context before every cluster; on cancellation the
+// remaining work items drain without being processed and the partial round
+// is discarded by the caller.
+func (s *Sampler) runWindowParallel(ctx context.Context, window int, clusters [][]int32, newObs *[]bitset.Set) (int64, error) {
 	perCluster := make([][]bitset.Set, len(clusters))
 	var comps int64
 	var mu sync.Mutex
@@ -225,6 +270,9 @@ func (s *Sampler) runWindowParallel(window int, clusters [][]int32, newObs *[]bi
 			defer wg.Done()
 			local := int64(0)
 			for ci := range work {
+				if ctx.Err() != nil {
+					continue // drain the channel without working
+				}
 				cluster := clusters[ci]
 				var sets []bitset.Set
 				for i := 0; i+window-1 < len(cluster); i++ {
@@ -250,6 +298,9 @@ func (s *Sampler) runWindowParallel(window int, clusters [][]int32, newObs *[]bi
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	s.Comparisons += comps
 	for _, sets := range perCluster {
 		for _, agree := range sets {
@@ -261,7 +312,7 @@ func (s *Sampler) runWindowParallel(window int, clusters [][]int32, newObs *[]bi
 			*newObs = append(*newObs, agree)
 		}
 	}
-	return comps
+	return comps, nil
 }
 
 // match compares two compressed records and records the agree-set bitset if

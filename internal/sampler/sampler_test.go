@@ -1,6 +1,8 @@
 package sampler
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -18,6 +20,36 @@ func buildIndex(rows [][]string, cols []string) *pli.Index {
 	return pli.NewIndex(rel, relation.NullEqualsNull)
 }
 
+// mustRun executes one sampling round under a background context.
+func mustRun(t *testing.T, s *Sampler, suggestions []pli.Pair) []bitset.Set {
+	t.Helper()
+	obs, err := s.Run(context.Background(), suggestions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var rows [][]string
+	for i := 0; i < 200; i++ {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Intn(4)), strconv.Itoa(r.Intn(3)), strconv.Itoa(i % 9),
+		})
+	}
+	for _, threads := range []int{1, 4} {
+		ix := buildIndex(rows, []string{"A", "B", "C"})
+		s := New(ix, 0)
+		s.SetThreads(threads)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := s.Run(ctx, nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+	}
+}
+
 func TestFirstRunFindsViolations(t *testing.T) {
 	// R(A,B,C): r1(1,2,3), r2(1,4,5) — the paper's §4 example pair.
 	ix := buildIndex([][]string{
@@ -25,7 +57,7 @@ func TestFirstRunFindsViolations(t *testing.T) {
 		{"1", "4", "5"},
 	}, []string{"A", "B", "C"})
 	s := New(ix, 0)
-	obs := s.Run(nil)
+	obs := mustRun(t, s, nil)
 	if len(obs) != 1 {
 		t.Fatalf("observations = %v", obs)
 	}
@@ -51,7 +83,7 @@ func TestObservationsAreSoundAgreeSets(t *testing.T) {
 	}
 	ix := buildIndex(rows, []string{"A", "B", "C", "D"})
 	s := New(ix, 0)
-	obs := s.Run(nil)
+	obs := mustRun(t, s, nil)
 	if len(obs) == 0 {
 		t.Fatal("no observations on a 50-row correlated relation")
 	}
@@ -81,12 +113,12 @@ func TestRunDeduplicatesAcrossCalls(t *testing.T) {
 		{"1", "2"}, {"1", "3"}, {"1", "4"},
 	}, []string{"A", "B"})
 	s := New(ix, 0)
-	first := s.Run(nil)
+	first := mustRun(t, s, nil)
 	if len(first) != 1 { // all pairs agree exactly on {A}
 		t.Fatalf("first run = %v", first)
 	}
 	// Re-running with a suggestion matching the same pattern adds nothing.
-	second := s.Run([]pli.Pair{{A: 0, B: 2}})
+	second := mustRun(t, s, []pli.Pair{{A: 0, B: 2}})
 	if len(second) != 0 {
 		t.Fatalf("second run rediscovered %v", second)
 	}
@@ -106,9 +138,9 @@ func TestSuggestionsProcessedOnReentry(t *testing.T) {
 		{"x", "y", "4"},
 	}, []string{"A", "B", "C"})
 	s := New(ix, 0)
-	s.Run(nil)
+	mustRun(t, s, nil)
 	before := s.ObservationCount()
-	obs := s.Run([]pli.Pair{{A: 0, B: 3}})
+	obs := mustRun(t, s, []pli.Pair{{A: 0, B: 3}})
 	// The pair (0,3) agrees exactly on {A,B}; if the first run already saw
 	// that pattern the second returns nothing, otherwise exactly it.
 	for _, o := range obs {
@@ -126,14 +158,14 @@ func TestUniqueColumnsYieldNothing(t *testing.T) {
 		{"1", "a"}, {"2", "b"}, {"3", "c"},
 	}, []string{"A", "B"})
 	s := New(ix, 0)
-	obs := s.Run(nil)
+	obs := mustRun(t, s, nil)
 	// No PLI clusters exist, so no pairs are compared and no violations
 	// observed.
 	if len(obs) != 0 || s.Comparisons != 0 {
 		t.Fatalf("obs=%v comps=%d", obs, s.Comparisons)
 	}
 	// Subsequent runs terminate immediately too.
-	if got := s.Run(nil); len(got) != 0 {
+	if got := mustRun(t, s, nil); len(got) != 0 {
 		t.Fatalf("re-run returned %v", got)
 	}
 }
@@ -141,7 +173,7 @@ func TestUniqueColumnsYieldNothing(t *testing.T) {
 func TestEmptyRelation(t *testing.T) {
 	ix := buildIndex(nil, []string{"A", "B"})
 	s := New(ix, 0)
-	if obs := s.Run(nil); len(obs) != 0 {
+	if obs := mustRun(t, s, nil); len(obs) != 0 {
 		t.Fatalf("obs on empty relation = %v", obs)
 	}
 }
@@ -151,7 +183,7 @@ func TestDuplicateRecordsAgreeEverywhere(t *testing.T) {
 		{"1", "2"}, {"1", "2"},
 	}, []string{"A", "B"})
 	s := New(ix, 0)
-	obs := s.Run(nil)
+	obs := mustRun(t, s, nil)
 	if len(obs) != 1 || !obs[0].Equal(bitset.FromIndices(2, 0, 1)) {
 		t.Fatalf("obs = %v, want full agree-set", obs)
 	}
@@ -166,7 +198,7 @@ func TestProgressiveWindowingCoversClusters(t *testing.T) {
 	}
 	ix := buildIndex(rows, []string{"A", "B", "C"})
 	s := New(ix, 0)
-	obs := s.Run(nil)
+	obs := mustRun(t, s, nil)
 	// Expected distinct agree patterns containing A: {A}, {A,B}, {A,C},
 	// {A,B,C}... which exist depends on data; at minimum {A,B} (adjacent
 	// same-B) and {A} or {A,C} patterns appear.
@@ -186,12 +218,12 @@ func TestParallelSamplingMatchesSequential(t *testing.T) {
 	}
 	ix := buildIndex(rows, []string{"A", "B", "C", "D"})
 	seq := New(ix, 0)
-	seqObs := seq.Run(nil)
+	seqObs := mustRun(t, seq, nil)
 
 	ix2 := buildIndex(rows, []string{"A", "B", "C", "D"})
 	par := New(ix2, 0)
 	par.SetThreads(8)
-	parObs := par.Run(nil)
+	parObs := mustRun(t, par, nil)
 
 	if seq.Comparisons != par.Comparisons {
 		t.Fatalf("comparison counts differ: %d vs %d", seq.Comparisons, par.Comparisons)
@@ -221,6 +253,6 @@ func BenchmarkSamplerRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := New(ix, 0)
-		s.Run(nil)
+		s.Run(context.Background(), nil)
 	}
 }

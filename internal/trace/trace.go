@@ -1,0 +1,184 @@
+// Package trace defines the observability layer of the discovery engine:
+// a pluggable Observer that receives typed events as a run progresses.
+// HyFD's orchestrator emits one event per preprocessing step, sampling
+// round, phase switch, validation level, Guardian intervention, and run
+// completion, so callers can render progress, collect per-phase timings, or
+// feed dashboards without touching engine internals.
+//
+// Observers are invoked synchronously from the engine's coordinating
+// goroutine, in run order — never concurrently. An observer must therefore
+// return quickly; expensive sinks should hand events off to their own
+// goroutine. A nil Observer is always valid and costs one branch per event.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase identifies one of the engine's alternating phases.
+type Phase int
+
+// The engine's phases in the order a run visits them.
+const (
+	// PhaseSampling is Phase 1: focused sampling + FD induction.
+	PhaseSampling Phase = iota
+	// PhaseValidation is Phase 2: level-wise candidate validation.
+	PhaseValidation
+)
+
+// String returns the phase's display name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSampling:
+		return "sampling"
+	case PhaseValidation:
+		return "validation"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is the common interface of all trace events. The concrete types
+// below form the complete event vocabulary; observers type-switch on them.
+type Event interface{ event() }
+
+// PreprocessingDone reports that PLIs and compressed records were built.
+type PreprocessingDone struct {
+	Rows, Cols int
+	// Duration is the preprocessing wall-clock time.
+	Duration time.Duration
+}
+
+// SamplingRound reports one completed Sampler invocation (Phase 1).
+type SamplingRound struct {
+	// Round counts sampling rounds from 1.
+	Round int
+	// NewObservations is the number of FD-violations first seen this round.
+	NewObservations int
+	// Comparisons is the cumulative record-pair comparison count.
+	Comparisons int64
+	// Threshold is the efficiency threshold the round stopped at (it halves
+	// on every re-entry into Phase 1).
+	Threshold float64
+	// Duration is the round's wall-clock time including induction.
+	Duration time.Duration
+}
+
+// PhaseSwitch reports a hand-over between the two phases.
+type PhaseSwitch struct {
+	From, To Phase
+	// Switches counts Phase 2 → Phase 1 returns so far.
+	Switches int
+}
+
+// ValidationLevel reports one validated FDTree level (Phase 2).
+type ValidationLevel struct {
+	// Level is the LHS cardinality of the validated candidates.
+	Level int
+	// Candidates is the number of FD candidates checked on this level.
+	Candidates int
+	// Valid and Invalid partition the checked candidates.
+	Valid, Invalid int
+	// Duration is the level's wall-clock time.
+	Duration time.Duration
+}
+
+// GuardianPrune reports a memory-Guardian intervention: the result tree
+// exceeded its budget and the maximum LHS size was lowered.
+type GuardianPrune struct {
+	// MaxLhs is the new LHS bound after pruning.
+	MaxLhs int
+	// Interventions counts Guardian interventions so far.
+	Interventions int
+}
+
+// Done reports run completion. It is the final event of every successful
+// run; canceled runs end without it.
+type Done struct {
+	// FDs is the number of minimal FDs discovered.
+	FDs int
+	// Duration is the total wall-clock time of the run.
+	Duration time.Duration
+}
+
+func (PreprocessingDone) event() {}
+func (SamplingRound) event()     {}
+func (PhaseSwitch) event()       {}
+func (ValidationLevel) event()   {}
+func (GuardianPrune) event()     {}
+func (Done) event()              {}
+
+// Observer receives trace events during a discovery run.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// Emit delivers e to o; a nil o is a no-op. Engine code always emits
+// through this helper so unobserved runs pay only a nil check.
+func Emit(o Observer, e Event) {
+	if o != nil {
+		o.Observe(e)
+	}
+}
+
+// Multi fans every event out to all given observers in order; nil entries
+// are skipped. Multi(nil...) and Multi() return a nil Observer.
+func Multi(os ...Observer) Observer {
+	flat := make([]Observer, 0, len(os))
+	for _, o := range os {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	return multi(flat)
+}
+
+type multi []Observer
+
+func (m multi) Observe(e Event) {
+	for _, o := range m {
+		o.Observe(e)
+	}
+}
+
+// Collector is an Observer that records every event it sees, in order. It
+// is safe for concurrent use and mainly serves tests and post-run
+// reporting.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Observe implements Observer.
+func (c *Collector) Observe(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}

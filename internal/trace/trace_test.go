@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEmitNilObserver(t *testing.T) {
+	Emit(nil, Done{FDs: 1}) // must not panic
+}
+
+func TestObserverFunc(t *testing.T) {
+	var got []Event
+	o := ObserverFunc(func(e Event) { got = append(got, e) })
+	Emit(o, PreprocessingDone{Rows: 3, Cols: 2})
+	Emit(o, Done{FDs: 5})
+	if len(got) != 2 {
+		t.Fatalf("got %d events", len(got))
+	}
+	if d, ok := got[1].(Done); !ok || d.FDs != 5 {
+		t.Fatalf("second event = %#v", got[1])
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi should be nil")
+	}
+	a, b := &Collector{}, &Collector{}
+	if Multi(a, nil) != Observer(a) {
+		t.Fatal("single-observer Multi should unwrap")
+	}
+	m := Multi(a, nil, b)
+	m.Observe(PhaseSwitch{From: PhaseValidation, To: PhaseSampling, Switches: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out failed: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := &Collector{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Observe(SamplingRound{Round: j})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if len(c.Events()) != 800 {
+		t.Fatalf("Events = %d", len(c.Events()))
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseSampling.String() != "sampling" || PhaseValidation.String() != "validation" {
+		t.Fatal("phase names wrong")
+	}
+	if Phase(9).String() != "unknown" {
+		t.Fatal("unknown phase name wrong")
+	}
+}

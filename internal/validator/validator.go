@@ -8,13 +8,16 @@
 package validator
 
 import (
+	"context"
 	"encoding/binary"
 	"runtime"
 	"sync"
+	"time"
 
 	"hyfd/internal/bitset"
 	"hyfd/internal/fdtree"
 	"hyfd/internal/pli"
+	"hyfd/internal/trace"
 )
 
 // DefaultInvalidThreshold is the paper's Phase 2 efficiency cutoff: switch
@@ -45,6 +48,7 @@ type Validator struct {
 	threads   int
 	intersect bool
 	cache     *pli.Cache
+	observer  trace.Observer
 
 	levelNumber int
 
@@ -70,6 +74,14 @@ func WithThreads(n int) Option {
 		}
 		v.threads = n
 	}
+}
+
+// WithObserver subscribes an observer to per-level trace.ValidationLevel
+// events. Events are emitted from the coordinating goroutine only, after
+// each level completes, so the observer never sees concurrent calls from
+// the validator.
+func WithObserver(o trace.Observer) Option {
+	return func(v *Validator) { v.observer = o }
 }
 
 // WithIntersectionValidation replaces HyFD's direct refinement checks with
@@ -109,16 +121,28 @@ type nodeResult struct {
 // it returns early — Done=false plus suggestions — once a level exceeds the
 // invalid-candidate threshold; with exhaustive=true it always runs to
 // completion (used when the Sampler has nothing new to offer).
-func (v *Validator) Run(exhaustive bool) *Result {
+//
+// The context is checked before every level and between nodes inside a
+// level (including by the parallel workers); a canceled run returns
+// ctx.Err() promptly and leaves the candidate tree consistent up to the
+// last fully validated level.
+func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 	res := &Result{}
 	for v.levelNumber <= v.tree.MaxLhs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		level := v.tree.GetLevel(v.levelNumber)
 		if len(level) == 0 {
 			break
 		}
+		levelStart := time.Now()
 		numValid, numInvalid := 0, 0
 		var invalids []invalidFd
-		results := v.validateLevel(level)
+		results, err := v.validateLevel(ctx, level)
+		if err != nil {
+			return nil, err
+		}
 		for i, nd := range level {
 			r := results[i]
 			if r.numRhss == 0 {
@@ -139,18 +163,25 @@ func (v *Validator) Run(exhaustive bool) *Result {
 		for _, inv := range invalids {
 			v.specialize(inv)
 		}
+		trace.Emit(v.observer, trace.ValidationLevel{
+			Level:      v.levelNumber,
+			Candidates: numValid + numInvalid,
+			Valid:      numValid,
+			Invalid:    numInvalid,
+			Duration:   time.Since(levelStart),
+		})
 		v.levelNumber++
 
 		// Phase-switch check (Alg. 4 line 36): the level produced too many
 		// invalid candidates, so the approximation is still poor.
 		if !exhaustive && float64(numInvalid) > v.threshold*float64(numValid) &&
 			len(res.Suggestions) > 0 {
-			return res
+			return res, nil
 		}
 	}
 	res.Done = true
 	res.Suggestions = nil
-	return res
+	return res, nil
 }
 
 // specialize generates all minimal, non-trivial extensions of an invalid FD
@@ -196,15 +227,20 @@ func (v *Validator) newRefiner() refiner {
 
 // validateLevel runs refines on every node of the level, fanning out over
 // the worker pool when configured. Intersection validation shares one
-// partition cache and therefore always runs sequentially.
-func (v *Validator) validateLevel(level []fdtree.Node) []nodeResult {
+// partition cache and therefore always runs sequentially. The context is
+// re-checked between nodes; on cancellation the parallel workers drain
+// their queue without working and the partial results are discarded.
+func (v *Validator) validateLevel(ctx context.Context, level []fdtree.Node) ([]nodeResult, error) {
 	results := make([]nodeResult, len(level))
 	if v.threads <= 1 || len(level) < 2 || v.intersect {
 		ck := v.newRefiner()
 		for i, nd := range level {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			results[i] = validateNode(ck, nd)
 		}
-		return results
+		return results, nil
 	}
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -218,6 +254,9 @@ func (v *Validator) validateLevel(level []fdtree.Node) []nodeResult {
 			defer wg.Done()
 			ck := newChecker(v.ix)
 			for i := range work {
+				if ctx.Err() != nil {
+					continue // drain the channel without working
+				}
 				results[i] = validateNode(ck, level[i])
 			}
 		}()
@@ -227,7 +266,10 @@ func (v *Validator) validateLevel(level []fdtree.Node) []nodeResult {
 	}
 	close(work)
 	wg.Wait()
-	return results
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // validateNode validates all FD candidates of one node simultaneously.

@@ -1,6 +1,8 @@
 package validator
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -12,7 +14,18 @@ import (
 	"hyfd/internal/inductor"
 	"hyfd/internal/pli"
 	"hyfd/internal/relation"
+	"hyfd/internal/trace"
 )
+
+// run executes one validation run under a background context.
+func run(tb testing.TB, v *Validator, exhaustive bool) *Result {
+	tb.Helper()
+	res, err := v.Run(context.Background(), exhaustive)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
 
 func buildRel(rows [][]string, cols []string) *relation.Relation {
 	rel := relation.New("t", cols)
@@ -44,7 +57,7 @@ func runExhaustive(t *testing.T, rel *relation.Relation, threads int) *fd.Set {
 	ix := pli.NewIndex(rel, relation.NullEqualsNull)
 	ind := inductor.New(rel.NumCols())
 	v := New(ix, ind.Tree(), WithThreads(threads))
-	res := v.Run(true)
+	res := run(t, v, true)
 	if !res.Done {
 		t.Fatal("exhaustive run did not finish")
 	}
@@ -175,7 +188,7 @@ func TestPhaseSwitchReturnsSuggestions(t *testing.T) {
 	ix := pli.NewIndex(rel, relation.NullEqualsNull)
 	ind := inductor.New(rel.NumCols())
 	v := New(ix, ind.Tree(), WithInvalidThreshold(0.01))
-	res := v.Run(false)
+	res := run(t, v, false)
 	if res.Done {
 		t.Skip("relation validated in one go; no switch to observe")
 	}
@@ -192,7 +205,7 @@ func TestPhaseSwitchReturnsSuggestions(t *testing.T) {
 		}
 	}
 	// Resuming exhaustively must finish the job correctly.
-	res2 := v.Run(true)
+	res2 := run(t, v, true)
 	if !res2.Done {
 		t.Fatal("resumed run did not finish")
 	}
@@ -210,7 +223,7 @@ func TestValidatorRespectsMaxLhs(t *testing.T) {
 	ind := inductor.New(rel.NumCols())
 	ind.Tree().SetMaxLhs(2)
 	v := New(ix, ind.Tree(), WithThreads(1))
-	if !v.Run(true).Done {
+	if !run(t, v, true).Done {
 		t.Fatal("bounded run did not finish")
 	}
 	for _, f := range ind.Tree().FDs().All() {
@@ -231,7 +244,7 @@ func TestValidatorOnEmptyTreeLevels(t *testing.T) {
 	tree := fdtree.New(1)
 	tree.Remove(bitset.New(1), 0) // no-op; tree empty
 	v := New(ix, tree)
-	res := v.Run(false)
+	res := run(t, v, false)
 	if !res.Done || res.ValidFds != 0 {
 		t.Fatalf("res = %+v", res)
 	}
@@ -246,7 +259,7 @@ func TestIntersectionValidationMatchesDirect(t *testing.T) {
 		ix := pli.NewIndex(rel, relation.NullEqualsNull)
 		ind := inductor.New(rel.NumCols())
 		v := New(ix, ind.Tree(), WithIntersectionValidation())
-		if !v.Run(true).Done {
+		if !run(t, v, true).Done {
 			t.Fatal("intersection run did not finish")
 		}
 		got := ind.Tree().FDs()
@@ -265,11 +278,56 @@ func TestIntersectionSuggestionsAreViolations(t *testing.T) {
 	ix := pli.NewIndex(rel, relation.NullEqualsNull)
 	ind := inductor.New(rel.NumCols())
 	v := New(ix, ind.Tree(), WithIntersectionValidation(), WithInvalidThreshold(0.001))
-	res := v.Run(false)
+	res := run(t, v, false)
 	for _, p := range res.Suggestions {
 		if p.A == p.B || int(p.A) >= rel.NumRows() || int(p.B) >= rel.NumRows() {
 			t.Fatalf("bogus suggestion %+v", p)
 		}
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	rel := randomRelation(r, 60, 6, 2)
+	for _, threads := range []int{1, 4} {
+		ix := pli.NewIndex(rel, relation.NullEqualsNull)
+		ind := inductor.New(rel.NumCols())
+		v := New(ix, ind.Tree(), WithThreads(threads))
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := v.Run(ctx, true); !errors.Is(err, context.Canceled) {
+			t.Fatalf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+	}
+}
+
+func TestRunEmitsValidationLevelEvents(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	rel := randomRelation(r, 30, 4, 2)
+	ix := pli.NewIndex(rel, relation.NullEqualsNull)
+	ind := inductor.New(rel.NumCols())
+	col := &trace.Collector{}
+	v := New(ix, ind.Tree(), WithObserver(col))
+	if !run(t, v, true).Done {
+		t.Fatal("run did not finish")
+	}
+	events := col.Events()
+	if len(events) == 0 {
+		t.Fatal("no ValidationLevel events emitted")
+	}
+	prev := -1
+	for _, e := range events {
+		lv, ok := e.(trace.ValidationLevel)
+		if !ok {
+			t.Fatalf("unexpected event %#v", e)
+		}
+		if lv.Level <= prev {
+			t.Fatalf("levels out of order: %d after %d", lv.Level, prev)
+		}
+		if lv.Candidates != lv.Valid+lv.Invalid {
+			t.Fatalf("candidate partition broken: %+v", lv)
+		}
+		prev = lv.Level
 	}
 }
 
@@ -282,7 +340,7 @@ func BenchmarkValidatorExhaustive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ind := inductor.New(rel.NumCols())
 		v := New(ix, ind.Tree())
-		if !v.Run(true).Done {
+		if !run(b, v, true).Done {
 			b.Fatal("did not finish")
 		}
 	}

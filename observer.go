@@ -1,0 +1,50 @@
+package hyfd
+
+import (
+	"hyfd/internal/trace"
+)
+
+// Observability: a discovery run reports its progress through an Observer
+// carried in Options. Events are delivered synchronously from the engine's
+// coordinating goroutine — an Observer never needs internal locking against
+// the engine, and a slow Observer slows discovery down. The types below
+// re-export the engine's event vocabulary so callers subscribe without
+// importing internal packages.
+
+// Observer receives trace events during a discovery run.
+type Observer = trace.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = trace.ObserverFunc
+
+// Event is the common interface of all trace events.
+type Event = trace.Event
+
+// Phase identifies one of HyFD's two alternating phases.
+type Phase = trace.Phase
+
+// The two phases of the hybrid loop.
+const (
+	PhaseSampling   = trace.PhaseSampling
+	PhaseValidation = trace.PhaseValidation
+)
+
+// The event vocabulary; see the trace package for field documentation.
+type (
+	// PreprocessingDone marks the end of PLI and compressed-record
+	// construction.
+	PreprocessingDone = trace.PreprocessingDone
+	// SamplingRound reports one Phase 1 sampling + induction round.
+	SamplingRound = trace.SamplingRound
+	// PhaseSwitch reports a hand-over between the two phases.
+	PhaseSwitch = trace.PhaseSwitch
+	// ValidationLevel reports one Phase 2 lattice level.
+	ValidationLevel = trace.ValidationLevel
+	// GuardianPrune reports a memory-Guardian intervention.
+	GuardianPrune = trace.GuardianPrune
+	// Done marks the end of a discovery run.
+	Done = trace.Done
+)
+
+// MultiObserver fans events out to several observers in order.
+func MultiObserver(os ...Observer) Observer { return trace.Multi(os...) }
