@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+# Flags for the bench-json smoke run: scaled far down so CI finishes in
+# seconds; override BENCH_JSON_FLAGS for a full-scale artifact run.
+BENCH_JSON_FLAGS ?= -exp table1 -inprocess -timeout 5s -table1-rows 100
+
+.PHONY: all build vet test race check bench bench-json
 
 all: check
 
@@ -22,3 +26,8 @@ check: build vet race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-json runs the benchmark suite and archives each experiment as a
+# machine-readable BENCH_<exp>.json artifact in the repo root.
+bench-json:
+	$(GO) run ./cmd/bench $(BENCH_JSON_FLAGS)

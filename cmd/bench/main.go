@@ -10,6 +10,12 @@
 //	bench -exp fig6,table1 -timeout 60s -memlimit-mb 4096
 //	bench -exp table1 -table1-rows 16000
 //	bench -exp fig8 -inprocess
+//
+// Besides the rendered tables, every experiment is archived as a
+// machine-readable BENCH_<id>.json artifact (environment, per-job Stats,
+// and metrics snapshots for HyFD runs) in -json-dir; -json-dir "" disables
+// the artifacts. EXPERIMENTS.md documents the artifact schema and how to
+// compare artifacts across commits.
 package main
 
 import (
@@ -30,6 +36,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-run time limit (TL)")
 		memLimitMB = flag.Int("memlimit-mb", 8192, "per-run memory limit in MB (ML)")
 		inprocess  = flag.Bool("inprocess", false, "run jobs in-process (TL enforced via context deadlines, no ML enforcement; useful without exec permissions)")
+		jsonDir    = flag.String("json-dir", ".", "directory for BENCH_<exp>.json artifacts (empty = don't write)")
+		metered    = flag.Bool("metrics", true, "embed metrics snapshots of HyFD runs in the artifacts")
 
 		fig6Rows   = flag.Int("fig6-max-rows", 0, "override Fig 6 max rows")
 		fig7Cols   = flag.Int("fig7-max-cols", 0, "override Fig 7 max cols")
@@ -79,8 +87,23 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("\n=== %s ===\n%s\n\n", e.ID, e.Title)
+		if *metered {
+			for i := range e.Jobs {
+				if e.Jobs[i].Algorithm == harness.HyFDName {
+					e.Jobs[i].Metrics = true
+				}
+			}
+		}
 		results := driver.runAll(e.Jobs)
 		e.Render(os.Stdout, results)
+		if *jsonDir != "" {
+			path, err := harness.NewArtifact(e, results).WriteFile(*jsonDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nartifact: %s\n", path)
+		}
 	}
 }
 

@@ -15,20 +15,33 @@
 //	hyfd -algorithm Tane -sep ';' -null-literal NULL data.csv
 //	hyfd -threads 8 -max-lhs 4 wide.csv
 //	hyfd -progress -timeout 30s big.csv
+//	hyfd -metrics-addr :9090 -progress big.csv
+//	hyfd -stats-json - -no-fds data.csv
 //	hyfd -uccs -keys -bcnf orders.csv
 //	hyfd -approx 0.05 dirty.csv
+//
+// With -metrics-addr the process serves Prometheus text exposition on
+// /metrics, a JSON snapshot on /metrics.json, and the standard Go profiler
+// on /debug/pprof/ for the lifetime of the run; the bound address is
+// announced on stderr. With -stats-json the run's statistics (and, for
+// HyFD, the full metrics snapshot) are written as one JSON document.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"hyfd"
 	"hyfd/internal/closure"
+	"hyfd/internal/metrics"
 )
 
 func main() {
@@ -45,6 +58,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort discovery after this duration (e.g. 30s), 0 = no limit")
 		progress    = flag.Bool("progress", false, "stream per-phase progress events to stderr (HyFD only)")
 		stats       = flag.Bool("stats", false, "print run statistics to stderr")
+		statsJSON   = flag.String("stats-json", "", "write run statistics as JSON to this file (- for stdout)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 		indices     = flag.Bool("indices", false, "print attribute indices instead of column names")
 		noFds       = flag.Bool("no-fds", false, "suppress the FD listing (useful with the flags below)")
 		jsonOut     = flag.Bool("json", false, "emit the FDs as JSON ({determinant, dependant} objects)")
@@ -86,8 +101,19 @@ func main() {
 		MaxLhsSize:          *maxLhs,
 		MemoryBudgetBytes:   *memBudget << 20,
 	}
+	// Any observability flag arms the metrics registry: the HTTP endpoints
+	// and the JSON report read it directly, and -progress uses its counters
+	// to render cumulative rates.
+	var reg *hyfd.MetricsRegistry
+	if *metricsAddr != "" || *statsJSON != "" || *progress {
+		reg = hyfd.NewMetricsRegistry()
+		opts.Metrics = reg
+	}
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, reg)
+	}
 	if *progress {
-		opts.Observer = progressObserver(os.Stderr)
+		opts.Observer = progressObserver(os.Stderr, metrics.NewEngineMetrics(reg), time.Now())
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -162,6 +188,10 @@ func main() {
 		}
 	}
 
+	if *statsJSON != "" {
+		fatalIf(writeStatsJSON(*statsJSON, rel.Name, *algorithm, result, reg))
+	}
+
 	if *stats {
 		fmt.Fprintf(os.Stderr, "dataset: %s (%d rows, %d columns)\n", rel.Name, rel.NumRows(), rel.NumCols())
 		fmt.Fprintf(os.Stderr, "fds: %d\n", len(result.FDs))
@@ -181,23 +211,92 @@ func main() {
 	}
 }
 
+// serveMetrics binds the address and serves the observability endpoints in
+// the background for the remainder of the process lifetime. Binding before
+// discovery starts (and announcing the resolved address on stderr) lets
+// scrapers and the e2e tests attach while the run is still in flight.
+func serveMetrics(addr string, reg *hyfd.MetricsRegistry) {
+	ln, err := net.Listen("tcp", addr)
+	fatalIf(err)
+	reg.Gauge("hyfd_up", "Always 1 while the hyfd process serves metrics.").Set(1)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.Handle("/metrics.json", metrics.JSONHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
+	go func() { fatalIf(http.Serve(ln, mux)) }()
+}
+
+// runReport is the -stats-json document: the run's Stats under their stable
+// JSON names, plus the full metrics snapshot when the run was metered.
+type runReport struct {
+	Dataset   string                `json:"dataset"`
+	Algorithm string                `json:"algorithm"`
+	FDs       int                   `json:"fds"`
+	Stats     *hyfd.Stats           `json:"stats"`
+	Metrics   *hyfd.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+func writeStatsJSON(path, dataset, algorithm string, result *hyfd.Result, reg *hyfd.MetricsRegistry) error {
+	report := runReport{
+		Dataset:   dataset,
+		Algorithm: algorithm,
+		FDs:       len(result.FDs),
+		Stats:     result.Stats,
+	}
+	if reg != nil && algorithm == hyfd.AlgorithmHyFD {
+		snap := reg.Snapshot()
+		report.Metrics = &snap
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
 // progressObserver renders the engine's trace events as human-readable
-// progress lines.
-func progressObserver(w *os.File) hyfd.Observer {
+// progress lines. With an EngineMetrics handle it appends cumulative
+// throughput rates (comparisons/s after sampling rounds, validations/s
+// after validation levels) read from the same counters the engine updates.
+func progressObserver(w *os.File, em *metrics.EngineMetrics, start time.Time) hyfd.Observer {
+	var comparisons, validations *metrics.Counter
+	if em != nil {
+		comparisons, validations = em.Comparisons, em.Validations
+	}
+	rate := func(c *metrics.Counter, unit string) string {
+		elapsed := time.Since(start).Seconds()
+		if c == nil || elapsed <= 0 {
+			return ""
+		}
+		return fmt.Sprintf(" (%s %s)", humanRate(float64(c.Value())/elapsed), unit)
+	}
 	return hyfd.ObserverFunc(func(e hyfd.Event) {
 		switch ev := e.(type) {
 		case hyfd.PreprocessingDone:
 			fmt.Fprintf(w, "preprocessed %d rows x %d cols in %s\n",
 				ev.Rows, ev.Cols, ev.Duration.Round(time.Millisecond))
 		case hyfd.SamplingRound:
-			fmt.Fprintf(w, "sampling round %d: %d new observations, %d comparisons (threshold %.4g) in %s\n",
+			fmt.Fprintf(w, "sampling round %d: %d new observations, %d comparisons (threshold %.4g) in %s%s\n",
 				ev.Round, ev.NewObservations, ev.Comparisons, ev.Threshold,
-				ev.Duration.Round(time.Millisecond))
+				ev.Duration.Round(time.Millisecond), rate(comparisons, "cmp/s"))
 		case hyfd.PhaseSwitch:
 			fmt.Fprintf(w, "phase switch #%d: %s -> %s\n", ev.Switches, ev.From, ev.To)
 		case hyfd.ValidationLevel:
-			fmt.Fprintf(w, "validation level %d: %d candidates, %d valid, %d invalid in %s\n",
-				ev.Level, ev.Candidates, ev.Valid, ev.Invalid, ev.Duration.Round(time.Millisecond))
+			fmt.Fprintf(w, "validation level %d: %d candidates, %d valid, %d invalid in %s%s\n",
+				ev.Level, ev.Candidates, ev.Valid, ev.Invalid,
+				ev.Duration.Round(time.Millisecond), rate(validations, "val/s"))
 		case hyfd.GuardianPrune:
 			fmt.Fprintf(w, "memory guardian: results pruned to LHS size <= %d (intervention #%d)\n",
 				ev.MaxLhs, ev.Interventions)
@@ -205,6 +304,19 @@ func progressObserver(w *os.File) hyfd.Observer {
 			fmt.Fprintf(w, "done: %d FDs in %s\n", ev.FDs, ev.Duration.Round(time.Millisecond))
 		}
 	})
+}
+
+// humanRate renders an events-per-second figure compactly: 532, 12.3k,
+// 4.6M (the caller appends the unit).
+func humanRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
 }
 
 func fatalIf(err error) {

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -100,10 +105,147 @@ func TestCLIEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v\n%s", err, out)
 		}
-		for _, want := range []string{"preprocessed", "sampling round", "done:", "time:"} {
+		for _, want := range []string{"preprocessed", "sampling round", "done:", "time:", "cmp/s"} {
 			if !strings.Contains(string(out), want) {
 				t.Fatalf("missing %q in progress output:\n%s", want, out)
 			}
+		}
+	})
+
+	t.Run("stats json", func(t *testing.T) {
+		out, err := exec.Command(bin, "-stats-json", "-", "-no-fds", csv).Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report struct {
+			Dataset   string `json:"dataset"`
+			Algorithm string `json:"algorithm"`
+			FDs       int    `json:"fds"`
+			Stats     struct {
+				Rows    int   `json:"rows"`
+				TotalNS int64 `json:"total_ns"`
+			} `json:"stats"`
+			Metrics *struct {
+				Counters []struct {
+					Name  string `json:"name"`
+					Value int64  `json:"value"`
+				} `json:"counters"`
+			} `json:"metrics"`
+		}
+		if err := json.Unmarshal(out, &report); err != nil {
+			t.Fatalf("bad stats JSON: %v\n%s", err, out)
+		}
+		if report.Algorithm != "HyFD" || report.FDs == 0 || report.Stats.Rows != 3 {
+			t.Fatalf("report content wrong: %+v", report)
+		}
+		if report.Stats.TotalNS <= 0 {
+			t.Fatalf("total_ns not populated: %+v", report)
+		}
+		if report.Metrics == nil || len(report.Metrics.Counters) == 0 {
+			t.Fatalf("metrics snapshot missing:\n%s", out)
+		}
+	})
+
+	t.Run("stats json file for baseline has total time", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "report.json")
+		if out, err := exec.Command(bin, "-algorithm", "Fdep", "-stats-json", path, "-no-fds", csv).CombinedOutput(); err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report struct {
+			Stats struct {
+				TotalNS int64 `json:"total_ns"`
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("bad stats JSON: %v\n%s", err, data)
+		}
+		if report.Stats.TotalNS <= 0 {
+			t.Fatalf("baseline total_ns not populated:\n%s", data)
+		}
+	})
+
+	t.Run("metrics server", func(t *testing.T) {
+		// A relation big enough that the slow O(n²) Fdep baseline keeps the
+		// process alive while we scrape; HyFD itself would finish too fast.
+		var b strings.Builder
+		b.WriteString("A,B,C\n")
+		for i := 0; i < 3000; i++ {
+			b.WriteString("1,2,3\n1,2,4\n2,2,4\n")
+		}
+		big := writeCSV(t, b.String())
+		cmd := exec.Command(bin, "-algorithm", "Fdep", "-metrics-addr", "127.0.0.1:0", "-no-fds", big)
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}()
+		// The CLI announces the bound address before discovery starts.
+		line, err := bufio.NewReader(stderr).ReadString('\n')
+		if err != nil {
+			t.Fatalf("no metrics announcement: %v", err)
+		}
+		m := regexp.MustCompile(`http://(\S+)/metrics`).FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("cannot parse metrics address from %q", line)
+		}
+		base := "http://" + m[1]
+
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), "hyfd_up 1") {
+			t.Fatalf("prometheus exposition missing hyfd_up:\n%s", body)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+
+		resp, err = http.Get(base + "/metrics.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			Gauges []struct {
+				Name  string  `json:"name"`
+				Value float64 `json:"value"`
+			} `json:"gauges"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("metrics.json not parseable: %v", err)
+		}
+		found := false
+		for _, g := range snap.Gauges {
+			if g.Name == "hyfd_up" && g.Value == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("hyfd_up gauge missing from JSON: %+v", snap)
+		}
+
+		resp, err = http.Get(base + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmdline, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(cmdline), "hyfd") {
+			t.Fatalf("pprof cmdline unexpected:\n%q", cmdline)
 		}
 	})
 

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"hyfd/internal/afd"
 	"hyfd/internal/algorithms"
@@ -117,6 +118,12 @@ type Options struct {
 	// (see observer.go for the event vocabulary). Events are delivered
 	// synchronously from the engine's coordinating goroutine.
 	Observer Observer
+	// Metrics, when non-nil, collects the run's quantitative telemetry
+	// (comparison/validation counters, phase durations, cluster-size and
+	// efficiency histograms, runtime gauges) into the registry's hyfd_*
+	// instrument families; see metrics.go. Leaving it nil keeps discovery
+	// completely unmetered.
+	Metrics *MetricsRegistry
 }
 
 // Stats is the telemetry of one discovery run.
@@ -153,6 +160,7 @@ func DiscoverContext(ctx context.Context, rel *Relation, opts Options) (*Result,
 		MaxLhsSize:          opts.MaxLhsSize,
 		MemoryBudgetBytes:   opts.MemoryBudgetBytes,
 		Observer:            opts.Observer,
+		Metrics:             opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -180,6 +188,7 @@ func DiscoverWithContext(ctx context.Context, algorithm string, rel *Relation, o
 	if !ok {
 		return nil, fmt.Errorf("hyfd: %w %q (available: %v)", ErrUnknownAlgorithm, algorithm, Algorithms())
 	}
+	start := time.Now()
 	set, err := alg.Discover(ctx, rel, algorithms.Config{
 		NullSemantics: opts.NullSemantics,
 		MaxLhsSize:    opts.MaxLhsSize,
@@ -188,11 +197,12 @@ func DiscoverWithContext(ctx context.Context, algorithm string, rel *Relation, o
 		return nil, err
 	}
 	stats := &Stats{
-		Rows:     rel.NumRows(),
-		Cols:     rel.NumCols(),
-		FDCount:  set.Size(),
-		MaxLhs:   rel.NumCols(),
-		Complete: true,
+		Rows:      rel.NumRows(),
+		Cols:      rel.NumCols(),
+		FDCount:   set.Size(),
+		MaxLhs:    rel.NumCols(),
+		Complete:  true,
+		TotalTime: time.Since(start),
 	}
 	if opts.MaxLhsSize > 0 {
 		stats.MaxLhs = opts.MaxLhsSize

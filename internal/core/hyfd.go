@@ -14,6 +14,7 @@ import (
 	"hyfd/internal/fd"
 	"hyfd/internal/guardian"
 	"hyfd/internal/inductor"
+	"hyfd/internal/metrics"
 	"hyfd/internal/pli"
 	"hyfd/internal/relation"
 	"hyfd/internal/sampler"
@@ -45,6 +46,12 @@ type Config struct {
 	// Guardian interventions, and completion. Events arrive synchronously
 	// from the coordinating goroutine, in run order.
 	Observer trace.Observer
+	// Metrics, when non-nil, receives the run's quantitative telemetry as
+	// hyfd_* instrument families: trace events are bridged through an
+	// EngineMetrics observer, and the sampler, validator, and guardian get
+	// direct (batched) hooks for the quantities events can't carry. A nil
+	// registry costs one nil-check per batched update site.
+	Metrics *metrics.Registry
 
 	// Ablation switches. These disable individual HyFD design decisions so
 	// the benchmark suite can quantify their contribution; none of them
@@ -62,38 +69,41 @@ type Config struct {
 }
 
 // Stats reports telemetry of one discovery run, mirroring the quantities
-// the paper's evaluation discusses.
+// the paper's evaluation discusses. The JSON field names are part of the
+// machine-readable output contract (hyfd -stats-json, BENCH_*.json);
+// durations serialize as integer nanoseconds under *_ns names.
 type Stats struct {
-	Rows, Cols int
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
 	// FDCount is the number of minimal FDs found.
-	FDCount int
+	FDCount int `json:"fd_count"`
 	// PhaseSwitches counts returns from Phase 2 into Phase 1; the paper
 	// reports three to eight on typical datasets.
-	PhaseSwitches int
+	PhaseSwitches int `json:"phase_switches"`
 	// SamplingRounds counts Sampler invocations (PhaseSwitches + 1).
-	SamplingRounds int
+	SamplingRounds int `json:"sampling_rounds"`
 	// Comparisons is the total number of record-pair comparisons.
-	Comparisons int64
+	Comparisons int64 `json:"comparisons"`
 	// Validations is the number of FDTree node validations.
-	Validations int64
+	Validations int64 `json:"validations"`
 	// Observations is the number of distinct FD-violations sampled.
-	Observations int
+	Observations int `json:"observations"`
 	// Complete is false when the Guardian (or MaxLhsSize) pruned results;
 	// the output then contains exactly the minimal FDs with LHS size up to
 	// MaxLhs.
-	Complete bool
+	Complete bool `json:"complete"`
 	// MaxLhs is the final LHS bound (== Cols when unbounded).
-	MaxLhs int
+	MaxLhs int `json:"max_lhs"`
 
 	// Wall-clock per-phase timings, sourced from the run's trace events:
 	// PreprocessingTime covers PLI and compressed-record construction,
 	// SamplingTime sums the Phase 1 rounds (sampling + induction),
 	// ValidationTime sums the Phase 2 levels, and TotalTime covers the
 	// whole run.
-	PreprocessingTime time.Duration
-	SamplingTime      time.Duration
-	ValidationTime    time.Duration
-	TotalTime         time.Duration
+	PreprocessingTime time.Duration `json:"preprocessing_ns"`
+	SamplingTime      time.Duration `json:"sampling_ns"`
+	ValidationTime    time.Duration `json:"validation_ns"`
+	TotalTime         time.Duration `json:"total_ns"`
 }
 
 // statsTimers is the engine's internal observer: it folds the duration
@@ -137,7 +147,8 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 		stats.MaxLhs = 0
 		return fd.NewSet(0), stats, nil
 	}
-	obs := trace.Multi(statsTimers{stats}, cfg.Observer)
+	em := metrics.NewEngineMetrics(cfg.Metrics) // nil registry → nil, all hooks no-ops
+	obs := trace.Multi(statsTimers{stats}, em.Observer(), cfg.Observer)
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, interrupted(err)
@@ -145,6 +156,9 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 
 	// Preprocessor (Alg. 1).
 	ix := pli.NewIndex(rel, cfg.NullSemantics)
+	if em != nil {
+		ix.ForEachClusterSize(func(size int) { em.PLIClusterSize.Observe(float64(size)) })
+	}
 	trace.Emit(obs, trace.PreprocessingDone{
 		Rows: stats.Rows, Cols: stats.Cols, Duration: time.Since(start),
 	})
@@ -152,12 +166,17 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 	smp := sampler.New(ix, cfg.EfficiencyThreshold)
 	smp.SetUnfocused(cfg.UnfocusedSampling)
 	smp.SetThreads(cfg.Threads)
+	smp.SetInstruments(em.Sampler())
 	ind := inductor.New(ix.NumCols)
 	if cfg.MaxLhsSize > 0 && cfg.MaxLhsSize < ix.NumCols {
 		ind.Tree().SetMaxLhs(cfg.MaxLhsSize)
 		stats.Complete = false
 	}
-	vopts := []validator.Option{validator.WithThreads(cfg.Threads), validator.WithObserver(obs)}
+	vopts := []validator.Option{
+		validator.WithThreads(cfg.Threads),
+		validator.WithObserver(obs),
+		validator.WithInstruments(em.Validator()),
+	}
 	if cfg.EfficiencyThreshold > 0 {
 		vopts = append(vopts, validator.WithInvalidThreshold(cfg.EfficiencyThreshold))
 	}
@@ -166,6 +185,9 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 	}
 	val := validator.New(ix, ind.Tree(), vopts...)
 	grd := guardian.New(ind.Tree(), cfg.MemoryBudgetBytes)
+	if em != nil {
+		grd.SetFootprintGauge(em.FDTreeBytes)
+	}
 	// checkGuardian runs the Guardian and reports any new intervention.
 	checkGuardian := func() {
 		before := grd.Interventions

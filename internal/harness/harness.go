@@ -24,6 +24,7 @@ import (
 	"hyfd/internal/algorithms/tane"
 	"hyfd/internal/core"
 	"hyfd/internal/datasets"
+	"hyfd/internal/metrics"
 	"hyfd/internal/relation"
 )
 
@@ -66,6 +67,10 @@ type Spec struct {
 	// the Guardian for uniprot, whose complete result is too large to
 	// store (§10.4).
 	MaxLhs int `json:"max_lhs,omitempty"`
+	// Metrics attaches a metrics registry to HyFD runs and embeds its
+	// snapshot in the result (see Result.Metrics). Off by default so the
+	// perf-criterion paths (bench_test.go) stay unmetered.
+	Metrics bool `json:"metrics,omitempty"`
 }
 
 // Result is the outcome of one measurement job.
@@ -81,6 +86,11 @@ type Result struct {
 	// ExecuteInProcess.
 	TimedOut    bool `json:"timed_out,omitempty"`
 	MemExceeded bool `json:"mem_exceeded,omitempty"`
+	// Stats carries HyFD's full run telemetry (phase timings, comparison
+	// and validation counts) when the run completed; nil for baselines.
+	Stats *core.Stats `json:"stats,omitempty"`
+	// Metrics is the run's metrics snapshot when Spec.Metrics was set.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Materialize generates the relation a spec runs against.
@@ -165,10 +175,15 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 
 	start := time.Now()
 	if spec.Algorithm == HyFDName {
+		var reg *metrics.Registry
+		if spec.Metrics {
+			reg = metrics.NewRegistry()
+		}
 		set, stats, err := core.Discover(ctx, rel, core.Config{
 			Threads:             spec.Threads,
 			EfficiencyThreshold: spec.Threshold,
 			MaxLhsSize:          spec.MaxLhs,
+			Metrics:             reg,
 		})
 		res.Seconds = time.Since(start).Seconds()
 		if err != nil {
@@ -176,6 +191,11 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 		} else {
 			res.FDs = set.Size()
 			res.Switches = stats.PhaseSwitches
+			res.Stats = stats
+			if reg != nil {
+				snap := reg.Snapshot()
+				res.Metrics = &snap
+			}
 		}
 	} else {
 		alg, ok := baselines()[spec.Algorithm]

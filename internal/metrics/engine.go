@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"runtime"
+
+	"hyfd/internal/trace"
+)
+
+// EngineMetrics bundles every instrument the discovery engine maintains,
+// registered under the stable hyfd_* names below. Construction is
+// idempotent per Registry — NewEngineMetrics on the same registry returns
+// handles to the same underlying instruments, so repeated runs accumulate
+// and external consumers (CLI progress rendering, tests) can obtain the
+// exact handles the engine updates.
+//
+// Two feeds fill these instruments: the Observer bridge aggregates the
+// engine's trace-event stream (round/level durations, candidate verdicts,
+// phase switches, Guardian interventions, run completion, plus Go runtime
+// gauges sampled on each event), and the Sampler/Validator/Guardian hook
+// structs carry direct instrumentation for quantities the events are too
+// coarse to capture (per-window efficiency, batched comparison and
+// validation counts, live FDTree footprint).
+type EngineMetrics struct {
+	// Phase 1: sampling.
+	Comparisons              *Counter   // hyfd_comparisons_total
+	SamplingRounds           *Counter   // hyfd_sampling_rounds_total
+	SamplingRoundDuration    *Histogram // hyfd_sampling_round_duration_seconds
+	NewViolations            *Counter   // hyfd_sampling_new_violations_total
+	SamplingWindows          *Counter   // hyfd_sampling_windows_total
+	SamplingWindowEfficiency *Histogram // hyfd_sampling_window_efficiency
+
+	// Phase 2: validation.
+	Validations             *Counter   // hyfd_validations_total
+	ValidationLevels        *Counter   // hyfd_validation_levels_total
+	ValidationLevelDuration *Histogram // hyfd_validation_level_duration_seconds
+	ValidCandidates         *Counter   // hyfd_validation_candidates_total{verdict="valid"}
+	InvalidCandidates       *Counter   // hyfd_validation_candidates_total{verdict="invalid"}
+	Suggestions             *Counter   // hyfd_validation_suggestions_total
+
+	// Orchestration and memory.
+	PhaseSwitches         *Counter   // hyfd_phase_switches_total
+	GuardianInterventions *Counter   // hyfd_guardian_interventions_total
+	FDTreeBytes           *Gauge     // hyfd_fdtree_bytes
+	PreprocessingDuration *Histogram // hyfd_preprocessing_duration_seconds
+	PLIClusterSize        *Histogram // hyfd_pli_cluster_size
+
+	// Per-run outcomes.
+	Runs          *Counter   // hyfd_runs_total
+	RunDuration   *Histogram // hyfd_run_duration_seconds
+	FDsDiscovered *Gauge     // hyfd_fds_discovered
+
+	// Go runtime telemetry, sampled on each trace event.
+	HeapInuse  *Gauge // hyfd_go_heap_inuse_bytes
+	GCCycles   *Gauge // hyfd_go_gc_cycles_total
+	Goroutines *Gauge // hyfd_go_goroutines
+}
+
+// NewEngineMetrics registers (or re-resolves) the engine's instrument set
+// on the registry. A nil registry returns nil, whose Observer and hook
+// accessors all degrade to no-ops — the unmetered fast path.
+func NewEngineMetrics(r *Registry) *EngineMetrics {
+	if r == nil {
+		return nil
+	}
+	candidates := r.CounterVec("hyfd_validation_candidates_total",
+		"FD candidates checked during Phase 2, by verdict.", "verdict")
+	return &EngineMetrics{
+		Comparisons: r.Counter("hyfd_comparisons_total",
+			"Record-pair comparisons performed by the sampler."),
+		SamplingRounds: r.Counter("hyfd_sampling_rounds_total",
+			"Completed Phase 1 sampling rounds."),
+		SamplingRoundDuration: r.Histogram("hyfd_sampling_round_duration_seconds",
+			"Wall-clock duration of each sampling round including induction.", nil),
+		NewViolations: r.Counter("hyfd_sampling_new_violations_total",
+			"Distinct FD-violations first observed by sampling."),
+		SamplingWindows: r.Counter("hyfd_sampling_windows_total",
+			"Cluster-window runs executed by the sampler."),
+		SamplingWindowEfficiency: r.Histogram("hyfd_sampling_window_efficiency",
+			"New violations per comparison of each window run.", RatioBuckets),
+
+		Validations: r.Counter("hyfd_validations_total",
+			"FDTree node validations performed by the validator."),
+		ValidationLevels: r.Counter("hyfd_validation_levels_total",
+			"Completed Phase 2 lattice levels."),
+		ValidationLevelDuration: r.Histogram("hyfd_validation_level_duration_seconds",
+			"Wall-clock duration of each validation level.", nil),
+		ValidCandidates:   candidates.With("valid"),
+		InvalidCandidates: candidates.With("invalid"),
+		Suggestions: r.Counter("hyfd_validation_suggestions_total",
+			"Violating record pairs handed back to the sampler."),
+
+		PhaseSwitches: r.Counter("hyfd_phase_switches_total",
+			"Returns from Phase 2 (validation) into Phase 1 (sampling)."),
+		GuardianInterventions: r.Counter("hyfd_guardian_interventions_total",
+			"Memory-Guardian prunes of the result tree."),
+		FDTreeBytes: r.Gauge("hyfd_fdtree_bytes",
+			"Approximate live footprint of the result FDTree."),
+		PreprocessingDuration: r.Histogram("hyfd_preprocessing_duration_seconds",
+			"Wall-clock duration of PLI and compressed-record construction.", nil),
+		PLIClusterSize: r.Histogram("hyfd_pli_cluster_size",
+			"Size distribution of non-singleton PLI clusters.", SizeBuckets),
+
+		Runs: r.Counter("hyfd_runs_total",
+			"Completed discovery runs."),
+		RunDuration: r.Histogram("hyfd_run_duration_seconds",
+			"Total wall-clock duration of each discovery run.", nil),
+		FDsDiscovered: r.Gauge("hyfd_fds_discovered",
+			"Minimal FDs found by the most recent run."),
+
+		HeapInuse: r.Gauge("hyfd_go_heap_inuse_bytes",
+			"Heap bytes in use, sampled on each trace event."),
+		GCCycles: r.Gauge("hyfd_go_gc_cycles_total",
+			"Completed GC cycles, sampled on each trace event."),
+		Goroutines: r.Gauge("hyfd_go_goroutines",
+			"Live goroutines, sampled on each trace event."),
+	}
+}
+
+// Observer bridges the engine's trace-event stream into the instruments.
+// It is invoked synchronously from the coordinating goroutine (see
+// internal/trace) and additionally samples the Go runtime gauges on each
+// event. A nil receiver yields a nil Observer, which trace.Multi skips.
+func (m *EngineMetrics) Observer() trace.Observer {
+	if m == nil {
+		return nil
+	}
+	return trace.ObserverFunc(func(e trace.Event) {
+		switch ev := e.(type) {
+		case trace.PreprocessingDone:
+			m.PreprocessingDuration.Observe(ev.Duration.Seconds())
+		case trace.SamplingRound:
+			m.SamplingRounds.Inc()
+			m.SamplingRoundDuration.Observe(ev.Duration.Seconds())
+			m.NewViolations.Add(int64(ev.NewObservations))
+		case trace.PhaseSwitch:
+			if ev.From == trace.PhaseValidation {
+				m.PhaseSwitches.Inc()
+			}
+		case trace.ValidationLevel:
+			m.ValidationLevels.Inc()
+			m.ValidationLevelDuration.Observe(ev.Duration.Seconds())
+			m.ValidCandidates.Add(int64(ev.Valid))
+			m.InvalidCandidates.Add(int64(ev.Invalid))
+		case trace.GuardianPrune:
+			m.GuardianInterventions.Inc()
+		case trace.Done:
+			m.Runs.Inc()
+			m.RunDuration.Observe(ev.Duration.Seconds())
+			m.FDsDiscovered.Set(float64(ev.FDs))
+		}
+		m.sampleRuntime()
+	})
+}
+
+// sampleRuntime refreshes the Go runtime gauges. Events are coarse-grained
+// (one per round or level), so the ReadMemStats cost stays negligible
+// relative to the work between events.
+func (m *EngineMetrics) sampleRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapInuse.Set(float64(ms.HeapInuse))
+	m.GCCycles.Set(float64(ms.NumGC))
+	m.Goroutines.Set(float64(runtime.NumGoroutine()))
+}
+
+// SamplerInstruments is the Sampler's direct-instrumentation hook. The
+// zero value is a no-op: every field is a nil-safe instrument.
+type SamplerInstruments struct {
+	// Comparisons receives the sampler's comparison count, batched once
+	// per round so the per-comparison hot path stays untouched.
+	Comparisons *Counter
+	// Windows counts cluster-window runs.
+	Windows *Counter
+	// WindowEfficiency records new-violations-per-comparison of each
+	// window run — the quantity the sampler's priority queue ranks on.
+	WindowEfficiency *Histogram
+}
+
+// Sampler returns the sampler's hook set.
+func (m *EngineMetrics) Sampler() SamplerInstruments {
+	if m == nil {
+		return SamplerInstruments{}
+	}
+	return SamplerInstruments{
+		Comparisons:      m.Comparisons,
+		Windows:          m.SamplingWindows,
+		WindowEfficiency: m.SamplingWindowEfficiency,
+	}
+}
+
+// ValidatorInstruments is the Validator's direct-instrumentation hook. The
+// zero value is a no-op.
+type ValidatorInstruments struct {
+	// Validations receives node-validation counts, batched once per level
+	// (before the level's trace event fires, so observers reading the
+	// counter on the event see it current).
+	Validations *Counter
+	// Suggestions receives the count of violating record pairs collected
+	// per level.
+	Suggestions *Counter
+}
+
+// Validator returns the validator's hook set.
+func (m *EngineMetrics) Validator() ValidatorInstruments {
+	if m == nil {
+		return ValidatorInstruments{}
+	}
+	return ValidatorInstruments{Validations: m.Validations, Suggestions: m.Suggestions}
+}

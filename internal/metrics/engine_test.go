@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"hyfd/internal/trace"
+)
+
+func TestEngineMetricsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := NewEngineMetrics(r)
+	b := NewEngineMetrics(r)
+	a.Comparisons.Add(10)
+	if b.Comparisons.Value() != 10 {
+		t.Fatal("EngineMetrics on the same registry must share instruments")
+	}
+}
+
+func TestEngineMetricsNilObserver(t *testing.T) {
+	var m *EngineMetrics
+	if m.Observer() != nil {
+		t.Fatal("nil EngineMetrics must yield a nil observer")
+	}
+	// Zero-value hook structs must be safe.
+	var si SamplerInstruments
+	si.Comparisons.Add(1)
+	si.Windows.Inc()
+	si.WindowEfficiency.Observe(0.5)
+	var vi ValidatorInstruments
+	vi.Validations.Add(1)
+	vi.Suggestions.Add(1)
+	if m.Sampler().Comparisons != nil || m.Validator().Validations != nil {
+		t.Fatal("hooks from a nil EngineMetrics must be zero")
+	}
+}
+
+func TestEngineObserverBridgesEvents(t *testing.T) {
+	r := NewRegistry()
+	m := NewEngineMetrics(r)
+	obs := m.Observer()
+
+	obs.Observe(trace.PreprocessingDone{Rows: 10, Cols: 3, Duration: time.Millisecond})
+	obs.Observe(trace.SamplingRound{Round: 1, NewObservations: 4, Comparisons: 100, Duration: 2 * time.Millisecond})
+	obs.Observe(trace.PhaseSwitch{From: trace.PhaseSampling, To: trace.PhaseValidation, Switches: 0})
+	obs.Observe(trace.ValidationLevel{Level: 1, Candidates: 9, Valid: 6, Invalid: 3, Duration: time.Millisecond})
+	obs.Observe(trace.PhaseSwitch{From: trace.PhaseValidation, To: trace.PhaseSampling, Switches: 1})
+	obs.Observe(trace.GuardianPrune{MaxLhs: 3, Interventions: 1})
+	obs.Observe(trace.Done{FDs: 12, Duration: 5 * time.Millisecond})
+
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"sampling rounds", m.SamplingRounds.Value(), 1},
+		{"new violations", m.NewViolations.Value(), 4},
+		{"validation levels", m.ValidationLevels.Value(), 1},
+		{"valid candidates", m.ValidCandidates.Value(), 6},
+		{"invalid candidates", m.InvalidCandidates.Value(), 3},
+		{"phase switches", m.PhaseSwitches.Value(), 1},
+		{"guardian interventions", m.GuardianInterventions.Value(), 1},
+		{"runs", m.Runs.Value(), 1},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if m.FDsDiscovered.Value() != 12 {
+		t.Errorf("fds gauge = %g, want 12", m.FDsDiscovered.Value())
+	}
+	if m.RunDuration.Count() != 1 || m.SamplingRoundDuration.Count() != 1 ||
+		m.ValidationLevelDuration.Count() != 1 || m.PreprocessingDuration.Count() != 1 {
+		t.Error("duration histograms not fed")
+	}
+	// Runtime gauges are sampled on every event.
+	if m.HeapInuse.Value() <= 0 || m.Goroutines.Value() <= 0 {
+		t.Error("runtime gauges not sampled")
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution instrument (Prometheus
+// histogram). Bucket i counts observations v with bounds[i-1] < v <=
+// bounds[i]; one implicit overflow bucket counts v > bounds[len-1]. The
+// bucket layout is immutable after construction, so observations are a
+// binary search plus two atomic adds. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow (+Inf) bucket
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// newHistogram builds a histogram over the given ascending upper bounds.
+// Passing no bounds falls back to DefBuckets.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound covers v; all-bounds-smaller lands in
+	// the overflow bucket at index len(bounds).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank, the same estimate Prometheus's
+// histogram_quantile computes. The first bucket interpolates from zero (the
+// instrument targets non-negative domains: durations, sizes, rates), and
+// ranks landing in the overflow bucket report the largest finite bound. An
+// empty histogram or an out-of-range q returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	maxBound := h.bounds[len(h.bounds)-1]
+	cum := 0.0
+	lastUpper := math.NaN()
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper edge to interpolate toward.
+			lastUpper = maxBound
+		} else {
+			lastUpper = h.bounds[i]
+		}
+		if cum >= rank {
+			if i == len(h.bounds) {
+				return maxBound
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - (cum - c)) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (h.bounds[i]-lower)*frac
+		}
+	}
+	// Float rounding can leave rank marginally above the final cumulative
+	// count; report the upper edge of the last non-empty bucket.
+	return lastUpper
+}
+
+// bucketCounts returns a copy of the per-bucket counts (overflow last).
+func (h *Histogram) bucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// DefBuckets is the default bucket layout for seconds-valued durations:
+// 100µs to ~52s, doubling.
+var DefBuckets = ExpBuckets(1e-4, 2, 20)
+
+// SizeBuckets is a bucket layout for cardinalities (cluster sizes, counts):
+// 1 to ~4M, quadrupling.
+var SizeBuckets = ExpBuckets(1, 4, 12)
+
+// RatioBuckets is a bucket layout for efficiency ratios in [0,1].
+var RatioBuckets = []float64{0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at start
+// (> 0) and multiplying by factor (> 1).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}

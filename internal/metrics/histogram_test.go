@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 100, 500} {
+		h.Observe(v)
+	}
+	// Bucket semantics: (prev, bound]; 0.5 and 1 land in le=1, 5 and 10 in
+	// le=10, 50 and 100 in le=100, 500 overflows.
+	want := []int64{2, 2, 2, 1}
+	got := h.bucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 666.5 {
+		t.Fatalf("sum = %g, want 666.5", h.Sum())
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", q)
+	}
+	var nilH *Histogram
+	if q := nilH.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("nil histogram quantile = %g, want NaN", q)
+	}
+}
+
+func TestHistogramQuantileOutOfRange(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.5)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("Quantile(%g) = %g, want NaN", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	h.Observe(5)
+	for _, q := range []float64{0, 0.5, 1} {
+		v := h.Quantile(q)
+		// The estimate must stay inside the observation's bucket (1, 10].
+		if v < 1 || v > 10 {
+			t.Fatalf("Quantile(%g) = %g, want within (1, 10]", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10, 20})
+	// 10 observations spread uniformly through (10, 20].
+	for i := 0; i < 10; i++ {
+		h.Observe(11 + float64(i))
+	}
+	// Median rank 5 of 10 → 10 + (20-10)*(5/10) = 15.
+	if v := h.Quantile(0.5); v != 15 {
+		t.Fatalf("median = %g, want 15", v)
+	}
+	if v := h.Quantile(1); v != 20 {
+		t.Fatalf("p100 = %g, want 20", v)
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100)
+	h.Observe(200)
+	// Everything sits above the largest finite bound; the estimate clamps
+	// to it rather than inventing values toward +Inf.
+	if v := h.Quantile(0.99); v != 2 {
+		t.Fatalf("overflow quantile = %g, want 2", v)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := newHistogram(nil)
+	if len(h.bounds) != len(DefBuckets) {
+		t.Fatalf("default bounds = %d, want %d", len(h.bounds), len(DefBuckets))
+	}
+	h.Observe(0.001)
+	if h.Count() != 1 {
+		t.Fatal("observation lost")
+	}
+}
+
+func TestBucketConstructors(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	for i, want := range []float64{1, 2, 4, 8} {
+		if exp[i] != want {
+			t.Fatalf("ExpBuckets[%d] = %g, want %g", i, exp[i], want)
+		}
+	}
+	lin := LinearBuckets(5, 2.5, 3)
+	for i, want := range []float64{5, 7.5, 10} {
+		if lin[i] != want {
+			t.Fatalf("LinearBuckets[%d] = %g, want %g", i, lin[i], want)
+		}
+	}
+}

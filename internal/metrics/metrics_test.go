@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help is ignored")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatal("instruments not shared")
+	}
+	v := r.CounterVec("y_total", "h", "kind")
+	if v.With("a") != v.With("a") {
+		t.Fatal("vec series not shared")
+	}
+	if v.With("a") == v.With("b") {
+		t.Fatal("distinct label values must yield distinct series")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering z as gauge after counter must panic")
+		}
+	}()
+	r.Gauge("z", "h")
+}
+
+func TestRegistryLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("lv", "h", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering lv with different labels must panic")
+		}
+	}()
+	r.CounterVec("lv", "h", "b")
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// registration, updates, and concurrent exposition — and relies on the
+// race detector (make race) to catch unsynchronized access.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("hammer_total", "h").Inc()
+				r.Gauge("hammer_gauge", "h").Set(float64(i))
+				r.Gauge("hammer_sum", "h").Add(1)
+				r.Histogram("hammer_seconds", "h", nil).Observe(float64(i) / iters)
+				r.CounterVec("hammer_labeled_total", "h", "worker").
+					With(string(rune('a' + id%4))).Inc()
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("hammer_total", "h").Value(); got != goroutines*iters {
+		t.Fatalf("hammer_total = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Gauge("hammer_sum", "h").Value(); got != goroutines*iters {
+		t.Fatalf("hammer_sum = %g, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("hammer_seconds", "h", nil).Count(); got != goroutines*iters {
+		t.Fatalf("hammer_seconds count = %d, want %d", got, goroutines*iters)
+	}
+	var total int64
+	for _, w := range []string{"a", "b", "c", "d"} {
+		total += r.CounterVec("hammer_labeled_total", "h", "worker").With(w).Value()
+	}
+	if total != goroutines*iters {
+		t.Fatalf("labeled total = %d, want %d", total, goroutines*iters)
+	}
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE header per family,
+// one sample line per series, and the _bucket/_sum/_count expansion for
+// histograms with cumulative le buckets. Families appear in name order and
+// series in label-value order, so the output is stable across calls.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.k); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.k {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.vals), s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.vals), formatFloat(s.g.Value()))
+		return err
+	}
+	// Histogram: cumulative buckets, then sum and count.
+	h := s.h
+	counts := h.bucketCounts()
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		le := formatFloat(bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(append(f.labels, "le"), append(s.vals, le)), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		f.name, labelString(append(f.labels, "le"), append(s.vals, "+Inf")), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.vals), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.vals), cum)
+	return err
+}
+
+// labelString renders {k1="v1",k2="v2"}, or "" for an unlabeled series.
+func labelString(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the complete exposition output of a small
+// registry: family ordering, HELP/TYPE headers, label rendering, and the
+// cumulative bucket expansion of histograms.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "Sorts last.").Add(7)
+	r.Counter("aa_first_total", "Sorts first.").Add(1)
+	r.Gauge("mid_gauge", "A gauge.").Set(2.5)
+	v := r.CounterVec("labeled_total", "With labels.", "kind", "mode")
+	v.With("b", "y").Add(2)
+	v.With("a", "x").Add(1)
+	h := r.Histogram("lat_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_first_total Sorts first.
+# TYPE aa_first_total counter
+aa_first_total 1
+# HELP labeled_total With labels.
+# TYPE labeled_total counter
+labeled_total{kind="a",mode="x"} 1
+labeled_total{kind="b",mode="y"} 2
+# HELP lat_seconds A histogram.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 5.55
+lat_seconds_count 3
+# HELP mid_gauge A gauge.
+# TYPE mid_gauge gauge
+mid_gauge 2.5
+# HELP zz_last_total Sorts last.
+# TYPE zz_last_total counter
+zz_last_total 7
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "h", "v").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "h").Add(3)
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "reqs_total 3") {
+		t.Fatalf("prometheus body missing sample:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	JSONHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"reqs_total"`) {
+		t.Fatalf("json body missing counter:\n%s", rec.Body.String())
+	}
+}

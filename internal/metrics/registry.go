@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// kind discriminates the three instrument families.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry is a get-or-create store of metric families. Registration is
+// idempotent: asking twice for the same name returns the same instrument,
+// so independent subsystems (and repeated runs) share state by name alone.
+// Re-registering a name with a different type or label set panics — that is
+// a programming error, not a runtime condition. A Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric with a fixed type and label-key set.
+type family struct {
+	name   string
+	help   string
+	k      kind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	vals []string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup finds or creates a family, enforcing type/label consistency.
+func (r *Registry) lookup(name, help string, k kind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.k != k {
+			panic(fmt.Sprintf("metrics: %s already registered as %s, not %s", name, f.k, k))
+		}
+		if strings.Join(f.labels, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("metrics: %s already registered with labels %v, not %v", name, f.labels, labels))
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		k:      k,
+		labels: append([]string(nil), labels...),
+		bounds: bounds,
+		series: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// with finds or creates the series for one label-value tuple.
+func (f *family) with(vals []string) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{vals: append([]string(nil), vals...)}
+	switch f.k {
+	case kindCounter:
+		s.c = new(Counter)
+	case kindGauge:
+		s.g = new(Gauge)
+	case kindHistogram:
+		s.h = newHistogram(f.bounds)
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter returns the unlabeled counter registered under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter, nil, nil).with(nil).c
+}
+
+// Gauge returns the unlabeled gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge, nil, nil).with(nil).g
+}
+
+// Histogram returns the unlabeled histogram registered under name; bounds
+// are the ascending finite bucket upper bounds (nil = DefBuckets). Bounds
+// are fixed by the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.lookup(name, help, kindHistogram, nil, bounds).with(nil).h
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family registered under name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for one label-value tuple (one value per label
+// key, in registration order).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).c }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family registered under name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).g }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family registered under name.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.lookup(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).h }
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries snapshots a family's series in label-value order.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	ss := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ss = append(ss, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool {
+		return strings.Join(ss[i].vals, "\x00") < strings.Join(ss[j].vals, "\x00")
+	})
+	return ss
+}

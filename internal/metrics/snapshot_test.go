@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Add(5)
+	r.CounterVec("cl_total", "h", "kind").With("x").Add(2)
+	r.Gauge("g", "h").Set(1.25)
+	h := r.Histogram("h_seconds", "h", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(3)
+	r.Histogram("empty_seconds", "h", []float64{1})
+
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("round trip mismatch:\nbefore: %+v\nafter:  %+v", snap, back)
+	}
+}
+
+func TestSnapshotContents(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Add(5)
+	r.CounterVec("cl_total", "h", "kind").With("x").Add(2)
+	r.Gauge("g", "h").Set(1.25)
+	h := r.Histogram("h_seconds", "h", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(3)
+	r.Histogram("empty_seconds", "h", []float64{1})
+
+	snap := r.Snapshot()
+	if v, ok := snap.Counter("c_total"); !ok || v != 5 {
+		t.Fatalf("c_total = %d, %v", v, ok)
+	}
+	if v, ok := snap.Counter("cl_total", "kind", "x"); !ok || v != 2 {
+		t.Fatalf("cl_total{kind=x} = %d, %v", v, ok)
+	}
+	if _, ok := snap.Counter("cl_total", "kind", "y"); ok {
+		t.Fatal("cl_total{kind=y} should not exist")
+	}
+	if v, ok := snap.Gauge("g"); !ok || v != 1.25 {
+		t.Fatalf("g = %g, %v", v, ok)
+	}
+	hs, ok := snap.Histogram("h_seconds")
+	if !ok || hs.Count != 3 || hs.Sum != 4 {
+		t.Fatalf("h_seconds = %+v, %v", hs, ok)
+	}
+	if !reflect.DeepEqual(hs.Counts, []int64{1, 1, 1}) {
+		t.Fatalf("h_seconds counts = %v", hs.Counts)
+	}
+	if len(hs.Quantiles) == 0 {
+		t.Fatal("non-empty histogram must carry quantiles")
+	}
+	empty, ok := snap.Histogram("empty_seconds")
+	if !ok || empty.Count != 0 {
+		t.Fatalf("empty_seconds = %+v, %v", empty, ok)
+	}
+	// NaN quantiles must never reach JSON: empty histograms omit them.
+	if len(empty.Quantiles) != 0 {
+		t.Fatalf("empty histogram quantiles = %v, want none", empty.Quantiles)
+	}
+}

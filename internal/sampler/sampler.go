@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"hyfd/internal/bitset"
+	"hyfd/internal/metrics"
 	"hyfd/internal/pli"
 )
 
@@ -71,11 +72,18 @@ type Sampler struct {
 	initialized bool
 	unfocused   bool
 	threads     int
+	inst        metrics.SamplerInstruments
 
 	// Comparisons counts record-pair comparisons over the sampler's life
 	// (telemetry for the evaluation).
 	Comparisons int64
 }
+
+// SetInstruments attaches the sampler's direct metrics hooks. The zero
+// value (and never calling this) is a no-op: the per-comparison hot path
+// stays untouched, comparison counts are batched once per round, and the
+// per-window instruments fire once per window run.
+func (s *Sampler) SetInstruments(in metrics.SamplerInstruments) { s.inst = in }
 
 // SetUnfocused disables the neighborhood sortation of Fig. 3(1): windows
 // then slide over clusters in raw record order. This ablation quantifies
@@ -123,6 +131,8 @@ func (s *Sampler) Threshold() float64 { return s.threshold }
 // comparisons inside them; a canceled run returns ctx.Err() promptly and
 // leaves the sampler in a consistent (but unfinished) state.
 func (s *Sampler) Run(ctx context.Context, suggestions []pli.Pair) ([]bitset.Set, error) {
+	compsBefore := s.Comparisons
+	defer func() { s.inst.Comparisons.Add(s.Comparisons - compsBefore) }()
 	var newObs []bitset.Set
 	if !s.initialized {
 		s.initialized = true
@@ -251,6 +261,10 @@ func (s *Sampler) runWindow(ctx context.Context, e *efficiency, newObs *[]bitset
 	}
 	e.comps += comps
 	e.results += int64(len(*newObs) - before)
+	s.inst.Windows.Inc()
+	if comps > 0 {
+		s.inst.WindowEfficiency.Observe(float64(len(*newObs)-before) / float64(comps))
+	}
 	return nil
 }
 

@@ -9,6 +9,11 @@
 // goroutine, in run order — never concurrently. An observer must therefore
 // return quickly; expensive sinks should hand events off to their own
 // goroutine. A nil Observer is always valid and costs one branch per event.
+//
+// The internal/metrics package builds on this layer: its EngineMetrics
+// bridges the event stream into hyfd_* counter/gauge/histogram families,
+// so Prometheus exposition and JSON snapshots are fed from the same events
+// as any user observer.
 package trace
 
 import (

@@ -16,6 +16,7 @@ import (
 
 	"hyfd/internal/bitset"
 	"hyfd/internal/fdtree"
+	"hyfd/internal/metrics"
 	"hyfd/internal/pli"
 	"hyfd/internal/trace"
 )
@@ -49,6 +50,7 @@ type Validator struct {
 	intersect bool
 	cache     *pli.Cache
 	observer  trace.Observer
+	inst      metrics.ValidatorInstruments
 
 	levelNumber int
 
@@ -82,6 +84,13 @@ func WithThreads(n int) Option {
 // the validator.
 func WithObserver(o trace.Observer) Option {
 	return func(v *Validator) { v.observer = o }
+}
+
+// WithInstruments attaches the validator's direct metrics hooks. The zero
+// value is a no-op. Counts are batched once per level, added before the
+// trace.ValidationLevel event fires so observers read current totals.
+func WithInstruments(in metrics.ValidatorInstruments) Option {
+	return func(v *Validator) { v.inst = in }
 }
 
 // WithIntersectionValidation replaces HyFD's direct refinement checks with
@@ -137,6 +146,8 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 			break
 		}
 		levelStart := time.Now()
+		validationsBefore := v.Validations
+		suggestionsBefore := len(res.Suggestions)
 		numValid, numInvalid := 0, 0
 		var invalids []invalidFd
 		results, err := v.validateLevel(ctx, level)
@@ -163,6 +174,8 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 		for _, inv := range invalids {
 			v.specialize(inv)
 		}
+		v.inst.Validations.Add(v.Validations - validationsBefore)
+		v.inst.Suggestions.Add(int64(len(res.Suggestions) - suggestionsBefore))
 		trace.Emit(v.observer, trace.ValidationLevel{
 			Level:      v.levelNumber,
 			Candidates: numValid + numInvalid,

@@ -1,0 +1,23 @@
+package hyfd
+
+import "hyfd/internal/metrics"
+
+// MetricsRegistry aggregates the engine's quantitative telemetry. Pass one
+// via Options.Metrics to meter a discovery run; several runs may share a
+// registry, in which case counters and histograms accumulate across them.
+// The registry serves itself over HTTP (metrics.Handler, metrics.JSONHandler
+// — or the hyfd CLI's -metrics-addr flag), writes Prometheus text exposition
+// via WritePrometheus, and snapshots to stable JSON via Snapshot.
+//
+// All instrument methods are safe for concurrent use; a nil registry in
+// Options.Metrics keeps discovery completely unmetered.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time, JSON-marshalable copy of a registry's
+// state; see MetricsRegistry.Snapshot.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry {
+	return metrics.NewRegistry()
+}
