@@ -4,7 +4,10 @@ GO ?= go
 # seconds; override BENCH_JSON_FLAGS for a full-scale artifact run.
 BENCH_JSON_FLAGS ?= -exp table1 -inprocess -timeout 5s -table1-rows 100
 
-.PHONY: all build vet test race check bench bench-json
+.PHONY: all build vet test race check bench bench-json fuzz-smoke
+
+# Wall-clock budget of the bounded differential-fuzz smoke run.
+FUZZTIME ?= 30s
 
 all: check
 
@@ -31,3 +34,8 @@ bench:
 # machine-readable BENCH_<exp>.json artifact in the repo root.
 bench-json:
 	$(GO) run ./cmd/bench $(BENCH_JSON_FLAGS)
+
+# fuzz-smoke runs the differential fuzzer (public Discover vs the
+# brute-force reference) for a bounded time on top of the committed corpus.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDiscoverDifferential -fuzztime=$(FUZZTIME) -run '^$$' .

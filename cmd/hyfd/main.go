@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -51,7 +52,7 @@ func main() {
 		noHeader    = flag.Bool("no-header", false, "treat the first CSV record as data, not column names")
 		nullLiteral = flag.String("null-literal", "", "additional token parsed as NULL (empty fields always are)")
 		nullNeq     = flag.Bool("null-neq", false, "use null≠null semantics instead of the default null=null")
-		threads     = flag.Int("threads", 1, "validation worker threads (HyFD only)")
+		threads     = flag.Int("threads", 0, "worker threads for parsing, preprocessing, sampling and validation: 0 = all CPUs, 1 = single-threaded")
 		threshold   = flag.Float64("threshold", 0, "efficiency threshold, 0 = paper default 0.01 (HyFD only)")
 		maxLhs      = flag.Int("max-lhs", 0, "limit result LHS size, 0 = unbounded")
 		memBudget   = flag.Int("memory-budget-mb", 0, "memory Guardian budget in MB, 0 = disabled (HyFD only)")
@@ -74,21 +75,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-
-	csvOpts := hyfd.CSVOptions{
-		Comma:       []rune(*sep)[0],
-		HasHeader:   !*noHeader,
-		EmptyIsNull: true,
-		NullLiteral: *nullLiteral,
+	if *threads < 0 {
+		fmt.Fprintf(os.Stderr, "hyfd: invalid -threads %d: must be 0 (all CPUs) or positive\n", *threads)
+		os.Exit(2)
 	}
-	var rel *hyfd.Relation
-	var err error
-	if path := flag.Arg(0); path == "-" {
-		rel, err = hyfd.ReadCSV("stdin", os.Stdin, csvOpts)
-	} else {
-		rel, err = hyfd.ReadCSVFile(path, csvOpts)
+	workers := *threads
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	fatalIf(err)
 
 	ns := hyfd.NullEqualsNull
 	if *nullNeq {
@@ -103,7 +97,8 @@ func main() {
 	}
 	// Any observability flag arms the metrics registry: the HTTP endpoints
 	// and the JSON report read it directly, and -progress uses its counters
-	// to render cumulative rates.
+	// to render cumulative rates. Setup precedes ingest so the ingest event
+	// below reaches the same sinks as the engine's own events.
 	var reg *hyfd.MetricsRegistry
 	if *metricsAddr != "" || *statsJSON != "" || *progress {
 		reg = hyfd.NewMetricsRegistry()
@@ -112,9 +107,34 @@ func main() {
 	if *metricsAddr != "" {
 		serveMetrics(*metricsAddr, reg)
 	}
+	em := metrics.NewEngineMetrics(reg)
 	if *progress {
-		opts.Observer = progressObserver(os.Stderr, metrics.NewEngineMetrics(reg), time.Now())
+		opts.Observer = progressObserver(os.Stderr, em, time.Now())
 	}
+
+	csvOpts := hyfd.CSVOptions{
+		Comma:       []rune(*sep)[0],
+		HasHeader:   !*noHeader,
+		EmptyIsNull: true,
+		NullLiteral: *nullLiteral,
+		Threads:     *threads,
+	}
+	ingestStart := time.Now()
+	var rel *hyfd.Relation
+	var err error
+	if path := flag.Arg(0); path == "-" {
+		rel, err = hyfd.ReadCSV("stdin", os.Stdin, csvOpts)
+	} else {
+		rel, err = hyfd.ReadCSVFile(path, csvOpts)
+	}
+	fatalIf(err)
+	if obs := hyfd.MultiObserver(em.Observer(), opts.Observer); obs != nil {
+		obs.Observe(hyfd.IngestDone{
+			Rows: rel.NumRows(), Cols: rel.NumCols(),
+			Threads: workers, Duration: time.Since(ingestStart),
+		})
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -284,6 +304,9 @@ func progressObserver(w *os.File, em *metrics.EngineMetrics, start time.Time) hy
 	}
 	return hyfd.ObserverFunc(func(e hyfd.Event) {
 		switch ev := e.(type) {
+		case hyfd.IngestDone:
+			fmt.Fprintf(w, "ingested %d rows x %d cols (%d threads) in %s\n",
+				ev.Rows, ev.Cols, ev.Threads, ev.Duration.Round(time.Millisecond))
 		case hyfd.PreprocessingDone:
 			fmt.Fprintf(w, "preprocessed %d rows x %d cols in %s\n",
 				ev.Rows, ev.Cols, ev.Duration.Round(time.Millisecond))

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"os"
@@ -105,9 +106,40 @@ func TestCLIEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v\n%s", err, out)
 		}
-		for _, want := range []string{"preprocessed", "sampling round", "done:", "time:", "cmp/s"} {
+		for _, want := range []string{"ingested", "preprocessed", "sampling round", "done:", "time:", "cmp/s"} {
 			if !strings.Contains(string(out), want) {
 				t.Fatalf("missing %q in progress output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("threads flag validated", func(t *testing.T) {
+		out, err := exec.Command(bin, "-threads", "-1", csv).CombinedOutput()
+		if err == nil {
+			t.Fatalf("negative -threads accepted:\n%s", out)
+		}
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+			t.Fatalf("negative -threads exit = %v, want code 2", err)
+		}
+		if !strings.Contains(string(out), "invalid -threads") {
+			t.Fatalf("missing -threads diagnostic:\n%s", out)
+		}
+	})
+
+	t.Run("threads counts agree", func(t *testing.T) {
+		// 0 (all CPUs), 1 (sequential) and 8 must print the identical FD
+		// listing — the CLI face of the engine's determinism contract.
+		var first string
+		for _, n := range []string{"1", "0", "8"} {
+			out, err := exec.Command(bin, "-threads", n, csv).Output()
+			if err != nil {
+				t.Fatalf("-threads %s: %v", n, err)
+			}
+			if first == "" {
+				first = string(out)
+			} else if string(out) != first {
+				t.Fatalf("-threads %s output differs:\n%s\nvs\n%s", n, out, first)
 			}
 		}
 	})

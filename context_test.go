@@ -86,8 +86,19 @@ func TestObserverEventSequence(t *testing.T) {
 	if len(events) < 3 {
 		t.Fatalf("only %d events observed", len(events))
 	}
-	if _, ok := events[0].(hyfd.PreprocessingDone); !ok {
-		t.Fatalf("first event = %T, want PreprocessingDone", events[0])
+	// Preprocessing reports one PLIBuilt per attribute, in attribute
+	// order, then PreprocessingDone — all before any sampling round.
+	for a := 0; a < rel.NumCols(); a++ {
+		built, ok := events[a].(hyfd.PLIBuilt)
+		if !ok {
+			t.Fatalf("event %d = %T, want PLIBuilt", a, events[a])
+		}
+		if built.Attr != a {
+			t.Fatalf("event %d reports attribute %d, want %d", a, built.Attr, a)
+		}
+	}
+	if _, ok := events[rel.NumCols()].(hyfd.PreprocessingDone); !ok {
+		t.Fatalf("event %d = %T, want PreprocessingDone", rel.NumCols(), events[rel.NumCols()])
 	}
 	done, ok := events[len(events)-1].(hyfd.Done)
 	if !ok {

@@ -1,0 +1,72 @@
+package hyfd_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hyfd"
+)
+
+// TestDiscoverThreadCountDeterminism: the engine's determinism contract —
+// the same relation yields the same FD list (same order, since sets render
+// canonically) at every thread count, under both null semantics. Threads 0
+// resolves to all CPUs and must behave like any explicit count.
+func TestDiscoverThreadCountDeterminism(t *testing.T) {
+	rels := map[string]*hyfd.Relation{
+		"synthetic": syntheticRelation(400, 8, 3, 17),
+		"meta":      metamorphicRelation(80, 99),
+	}
+	for name, rel := range rels {
+		for _, ns := range []hyfd.NullSemantics{hyfd.NullEqualsNull, hyfd.NullNotEqualsNull} {
+			base, err := hyfd.Discover(rel, hyfd.Options{NullSemantics: ns, Threads: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threads := range []int{0, 2, 8} {
+				res, err := hyfd.Discover(rel, hyfd.Options{NullSemantics: ns, Threads: threads})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.FDs, base.FDs) {
+					t.Fatalf("%s ns=%v: threads=%d FD list differs from sequential:\nmissing: %v\nextra: %v",
+						name, ns, threads, base.Set.Diff(res.Set), res.Set.Diff(base.Set))
+				}
+				// The work done must also be identical, not just the
+				// result: same comparisons, validations, phase switches.
+				if res.Stats.Comparisons != base.Stats.Comparisons ||
+					res.Stats.Validations != base.Stats.Validations ||
+					res.Stats.PhaseSwitches != base.Stats.PhaseSwitches ||
+					res.Stats.Observations != base.Stats.Observations {
+					t.Fatalf("%s ns=%v threads=%d: work differs from sequential:\n got %+v\nwant %+v",
+						name, ns, threads, res.Stats, base.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestDiscoverThreadsResolvedInStats: Stats.Threads reports the resolved
+// worker count — the configured value for positive inputs, GOMAXPROCS for
+// zero and negative ones (which must agree with each other).
+func TestDiscoverThreadsResolvedInStats(t *testing.T) {
+	rel := metamorphicRelation(30, 7)
+	explicit, err := hyfd.Discover(rel, hyfd.Options{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Stats.Threads != 3 {
+		t.Fatalf("Stats.Threads = %d, want 3", explicit.Stats.Threads)
+	}
+	zero, err := hyfd.Discover(rel, hyfd.Options{Threads: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	negative, err := hyfd.Discover(rel, hyfd.Options{Threads: -4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Stats.Threads < 1 || zero.Stats.Threads != negative.Stats.Threads {
+		t.Fatalf("resolved threads: zero=%d negative=%d, want equal and >= 1",
+			zero.Stats.Threads, negative.Stats.Threads)
+	}
+}

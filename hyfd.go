@@ -97,9 +97,9 @@ func NewAttrSet(n int, members ...int) AttrSet {
 	return bitset.FromIndices(n, members...)
 }
 
-// Options parameterizes Discover. The zero value uses the paper's defaults:
-// null=null semantics, the 1 % efficiency threshold, single-threaded
-// execution, unbounded complete results.
+// Options parameterizes Discover. The zero value uses the paper's defaults
+// (null=null semantics, the 1 % efficiency threshold, unbounded complete
+// results) and runs with one worker per available CPU.
 type Options struct {
 	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥.
 	NullSemantics NullSemantics
@@ -107,7 +107,11 @@ type Options struct {
 	// the paper's default of 0.01. It controls both when sampling is
 	// considered exhausted and when validation hands control back.
 	EfficiencyThreshold float64
-	// Threads parallelizes candidate validation; 0 or 1 is sequential.
+	// Threads is the engine-wide worker count, driving preprocessing (PLI
+	// construction), the sampler, and candidate validation uniformly.
+	// 1 forces single-threaded execution; any value <= 0 picks
+	// runtime.GOMAXPROCS(0). Results and trace-event order are identical
+	// for every thread count.
 	Threads int
 	// MaxLhsSize truncates results to LHSs of at most this size
 	// (0 = unbounded). The result is then complete up to that size.

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"hyfd/internal/fd"
@@ -32,8 +33,13 @@ type Config struct {
 	// initial sampling efficiency cutoff and the validation
 	// invalid-candidate cutoff. 0 means the paper's default of 0.01.
 	EfficiencyThreshold float64
-	// Threads is the worker count for parallel sampling-free validation;
-	// 0 or 1 runs single-threaded, matching the paper's base variant.
+	// Threads is the single worker-count knob of the whole engine: it
+	// uniformly drives preprocessing (PLI construction and record
+	// inversion), the sampler's cluster sortation and window runs, and
+	// candidate validation. 1 forces single-threaded execution (the
+	// paper's base variant); any value <= 0 picks runtime.GOMAXPROCS(0).
+	// Every thread count produces the identical FD set, PLIs, and
+	// observation order — the engine's determinism contract.
 	Threads int
 	// MaxLhsSize bounds result LHS cardinality up front (0 = unbounded).
 	MaxLhsSize int
@@ -94,6 +100,9 @@ type Stats struct {
 	Complete bool `json:"complete"`
 	// MaxLhs is the final LHS bound (== Cols when unbounded).
 	MaxLhs int `json:"max_lhs"`
+	// Threads is the resolved worker count the run executed with (the
+	// configured value, or GOMAXPROCS when that was <= 0).
+	Threads int `json:"threads"`
 
 	// Wall-clock per-phase timings, sourced from the run's trace events:
 	// PreprocessingTime covers PLI and compressed-record construction,
@@ -142,7 +151,11 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 	if err := rel.Validate(); err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{Rows: rel.NumRows(), Cols: rel.NumCols(), Complete: true}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	stats := &Stats{Rows: rel.NumRows(), Cols: rel.NumCols(), Complete: true, Threads: threads}
 	if rel.NumCols() == 0 {
 		stats.MaxLhs = 0
 		return fd.NewSet(0), stats, nil
@@ -154,26 +167,46 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 		return nil, nil, interrupted(err)
 	}
 
-	// Preprocessor (Alg. 1).
-	ix := pli.NewIndex(rel, cfg.NullSemantics)
+	// Preprocessor (Alg. 1). The build fans attributes over the worker
+	// pool; per-attribute timings land in builds via disjoint slot writes,
+	// and the trace events replay them in attribute order afterwards so
+	// observers keep their single-goroutine, deterministic-order contract.
+	builds := make([]struct {
+		clusters int
+		duration time.Duration
+	}, rel.NumCols())
+	ix := pli.NewIndexWith(rel, cfg.NullSemantics, pli.Options{
+		Threads: threads,
+		OnBuild: func(p *pli.PLI, d time.Duration) {
+			builds[p.Attr] = struct {
+				clusters int
+				duration time.Duration
+			}{p.NumClusters, d}
+		},
+	})
+	for attr, b := range builds {
+		trace.Emit(obs, trace.PLIBuilt{Attr: attr, Clusters: b.clusters, Duration: b.duration})
+	}
 	if em != nil {
 		ix.ForEachClusterSize(func(size int) { em.PLIClusterSize.Observe(float64(size)) })
 	}
 	trace.Emit(obs, trace.PreprocessingDone{
-		Rows: stats.Rows, Cols: stats.Cols, Duration: time.Since(start),
+		Rows: stats.Rows, Cols: stats.Cols, Threads: threads, Duration: time.Since(start),
 	})
 
-	smp := sampler.New(ix, cfg.EfficiencyThreshold)
-	smp.SetUnfocused(cfg.UnfocusedSampling)
-	smp.SetThreads(cfg.Threads)
-	smp.SetInstruments(em.Sampler())
+	smp := sampler.New(ix, sampler.Config{
+		Threshold:   cfg.EfficiencyThreshold,
+		Threads:     threads,
+		Unfocused:   cfg.UnfocusedSampling,
+		Instruments: em.Sampler(),
+	})
 	ind := inductor.New(ix.NumCols)
 	if cfg.MaxLhsSize > 0 && cfg.MaxLhsSize < ix.NumCols {
 		ind.Tree().SetMaxLhs(cfg.MaxLhsSize)
 		stats.Complete = false
 	}
 	vopts := []validator.Option{
-		validator.WithThreads(cfg.Threads),
+		validator.WithThreads(threads),
 		validator.WithObserver(obs),
 		validator.WithInstruments(em.Validator()),
 	}

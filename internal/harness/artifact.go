@@ -19,18 +19,21 @@ type Artifact struct {
 	Experiment string `json:"experiment"`
 	Title      string `json:"title"`
 	// CreatedUnix is the artifact's creation time (Unix seconds, UTC).
-	CreatedUnix int64  `json:"created_unix"`
-	GoVersion   string `json:"go_version"`
-	GOOS        string `json:"goos"`
-	GOARCH      string `json:"goarch"`
-	NumCPU      int    `json:"num_cpu"`
+	CreatedUnix int64    `json:"created_unix"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
 	Results     []Result `json:"results"`
+	// Derived holds the experiment's condensed scalar metrics (see
+	// Experiment.Derive), e.g. the prep experiment's parallel speedups.
+	Derived map[string]float64 `json:"derived,omitempty"`
 }
 
 // NewArtifact assembles an artifact for one experiment's results, stamping
 // the current time and build environment.
 func NewArtifact(exp Experiment, results []Result) Artifact {
-	return Artifact{
+	a := Artifact{
 		Experiment:  exp.ID,
 		Title:       exp.Title,
 		CreatedUnix: time.Now().Unix(),
@@ -40,6 +43,10 @@ func NewArtifact(exp Experiment, results []Result) Artifact {
 		NumCPU:      runtime.NumCPU(),
 		Results:     results,
 	}
+	if exp.Derive != nil {
+		a.Derived = exp.Derive(results)
+	}
+	return a
 }
 
 // Filename returns the artifact's canonical file name, BENCH_<id>.json.

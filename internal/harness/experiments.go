@@ -50,17 +50,23 @@ type Experiment struct {
 	Jobs  []Spec
 	// Render writes the table/series from the collected results.
 	Render func(w io.Writer, results []Result)
+	// Derive, when non-nil, condenses the results into named scalar
+	// metrics that the artifact records under "derived" — the fields
+	// regression tooling compares across commits without re-deriving them
+	// from raw results.
+	Derive func(results []Result) map[string]float64
 }
 
-// Experiments returns all six reproduction experiments.
+// Experiments returns the six paper-reproduction experiments plus the
+// preprocessing-speedup probe.
 func Experiments(opts Options) []Experiment {
 	return []Experiment{
-		Fig6(opts), Fig7(opts), Table1(opts), Table2(opts), Table3(opts), Fig8(opts),
+		Fig6(opts), Fig7(opts), Table1(opts), Table2(opts), Table3(opts), Fig8(opts), Prep(opts),
 	}
 }
 
 // ByID returns one experiment by its id (fig6, fig7, table1, table2,
-// table3, fig8).
+// table3, fig8, prep).
 func ByID(id string, opts Options) (Experiment, error) {
 	for _, e := range Experiments(opts) {
 		if e.ID == id {
@@ -269,6 +275,72 @@ func Fig8(opts Options) Experiment {
 				)
 			}
 			tw.write(w)
+		},
+	}
+}
+
+// prepThreadCounts are the worker counts the prep experiment sweeps; the
+// configured Options.Threads is appended when it extends the sweep.
+var prepThreadCounts = []int{1, 2, 4}
+
+// Prep — parallel-preprocessing speedup: PLI construction and record
+// inversion only, on a wide uniprot sample, at increasing worker counts.
+// The derived metrics record the speedup of every multi-threaded variant
+// over the single-threaded baseline (prep_speedup_<n>t); multi-core
+// hardware is required for the speedups to materialize.
+func Prep(opts Options) Experiment {
+	const rows, cols = 5000, 128
+	counts := append([]int{}, prepThreadCounts...)
+	if opts.Threads > counts[len(counts)-1] {
+		counts = append(counts, opts.Threads)
+	}
+	var jobs []Spec
+	for _, th := range counts {
+		jobs = append(jobs, Spec{
+			Algorithm: HyFDName, Dataset: "uniprot",
+			Rows: rows, Cols: cols, Threads: th, PrepOnly: true,
+		})
+	}
+	findPrep := func(results []Result, threads int) *Result {
+		for i := range results {
+			if results[i].Spec.Threads == threads && results[i].Err == "" {
+				return &results[i]
+			}
+		}
+		return nil
+	}
+	return Experiment{
+		ID: "prep",
+		Title: fmt.Sprintf("Preprocessing speedup: parallel PLI build on uniprot (%d rows, %d cols)",
+			rows, cols),
+		Jobs: jobs,
+		Render: func(w io.Writer, results []Result) {
+			tw := newTable("threads", "prep [s]", "speedup")
+			base := findPrep(results, 1)
+			for _, r := range results {
+				speedup := "-"
+				if base != nil && r.Seconds > 0 && r.Err == "" {
+					speedup = fmt.Sprintf("%.2fx", base.Seconds/r.Seconds)
+				}
+				tw.row(fmt.Sprint(r.Spec.Threads), timeCell(&r), speedup)
+			}
+			tw.write(w)
+		},
+		Derive: func(results []Result) map[string]float64 {
+			derived := map[string]float64{}
+			base := findPrep(results, 1)
+			if base == nil {
+				return derived
+			}
+			derived["prep_seconds_1t"] = base.Seconds
+			for _, r := range results {
+				if r.Spec.Threads <= 1 || r.Err != "" || r.Seconds <= 0 {
+					continue
+				}
+				derived[fmt.Sprintf("prep_seconds_%dt", r.Spec.Threads)] = r.Seconds
+				derived[fmt.Sprintf("prep_speedup_%dt", r.Spec.Threads)] = base.Seconds / r.Seconds
+			}
+			return derived
 		},
 	}
 }

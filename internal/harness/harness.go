@@ -25,6 +25,7 @@ import (
 	"hyfd/internal/core"
 	"hyfd/internal/datasets"
 	"hyfd/internal/metrics"
+	"hyfd/internal/pli"
 	"hyfd/internal/relation"
 )
 
@@ -71,6 +72,10 @@ type Spec struct {
 	// snapshot in the result (see Result.Metrics). Off by default so the
 	// perf-criterion paths (bench_test.go) stay unmetered.
 	Metrics bool `json:"metrics,omitempty"`
+	// PrepOnly measures only the preprocessing stage (PLI construction and
+	// record inversion at the spec's thread count) instead of a full
+	// discovery run — the prep experiment's parallel-speedup probe.
+	PrepOnly bool `json:"prep_only,omitempty"`
 }
 
 // Result is the outcome of one measurement job.
@@ -173,14 +178,28 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 		}
 	}
 
+	// A zero Threads pins HyFD to single-threaded execution here (the
+	// engine's own zero default is all CPUs): the paper's tables contrast
+	// single-threaded variants, and speedup experiments request workers
+	// explicitly.
+	threads := spec.Threads
+	if threads == 0 {
+		threads = 1
+	}
+
 	start := time.Now()
-	if spec.Algorithm == HyFDName {
+	if spec.PrepOnly {
+		ix := pli.NewIndexWith(rel, relation.NullEqualsNull, pli.Options{Threads: threads})
+		res.Seconds = time.Since(start).Seconds()
+		res.FDs = 0
+		runtime.KeepAlive(ix)
+	} else if spec.Algorithm == HyFDName {
 		var reg *metrics.Registry
 		if spec.Metrics {
 			reg = metrics.NewRegistry()
 		}
 		set, stats, err := core.Discover(ctx, rel, core.Config{
-			Threads:             spec.Threads,
+			Threads:             threads,
 			EfficiencyThreshold: spec.Threshold,
 			MaxLhsSize:          spec.MaxLhs,
 			Metrics:             reg,

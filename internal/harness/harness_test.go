@@ -60,7 +60,7 @@ func TestMaterializeCapsRowsAndCols(t *testing.T) {
 func TestExperimentsDefinitions(t *testing.T) {
 	opts := DefaultOptions()
 	exps := Experiments(opts)
-	if len(exps) != 6 {
+	if len(exps) != 7 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	ids := map[string]bool{}
@@ -70,7 +70,7 @@ func TestExperimentsDefinitions(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, id := range []string{"fig6", "fig7", "table1", "table2", "table3", "fig8"} {
+	for _, id := range []string{"fig6", "fig7", "table1", "table2", "table3", "fig8", "prep"} {
 		if !ids[id] {
 			t.Fatalf("experiment %q missing", id)
 		}
@@ -138,5 +138,47 @@ func TestMaterializeScalesPastNaturalSize(t *testing.T) {
 	}
 	if rel.NumRows() != 2500 {
 		t.Fatalf("rows = %d, want 2500", rel.NumRows())
+	}
+}
+
+func TestPrepOnlyMeasuresPreprocessing(t *testing.T) {
+	res := ExecuteInProcess(Spec{
+		Algorithm: HyFDName, Dataset: "uniprot",
+		Rows: 300, Cols: 16, Threads: 4, PrepOnly: true,
+	})
+	if res.Err != "" {
+		t.Fatal(res.Err)
+	}
+	if res.Seconds <= 0 {
+		t.Fatalf("prep run measured %v seconds", res.Seconds)
+	}
+	if res.FDs != 0 || res.Stats != nil {
+		t.Fatalf("prep-only run produced discovery output: %+v", res)
+	}
+}
+
+func TestPrepExperimentDerivesSpeedups(t *testing.T) {
+	e, err := ByID("prep", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Derive == nil {
+		t.Fatal("prep experiment has no Derive")
+	}
+	// Synthetic results: 2 threads twice as fast as 1.
+	results := []Result{
+		{Spec: Spec{Threads: 1, PrepOnly: true}, Seconds: 2.0},
+		{Spec: Spec{Threads: 2, PrepOnly: true}, Seconds: 1.0},
+	}
+	d := e.Derive(results)
+	if d["prep_seconds_1t"] != 2.0 {
+		t.Fatalf("prep_seconds_1t = %v", d["prep_seconds_1t"])
+	}
+	if d["prep_speedup_2t"] != 2.0 {
+		t.Fatalf("prep_speedup_2t = %v", d["prep_speedup_2t"])
+	}
+	a := NewArtifact(e, results)
+	if a.Derived["prep_speedup_2t"] != 2.0 {
+		t.Fatalf("artifact derived = %v", a.Derived)
 	}
 }

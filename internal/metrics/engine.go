@@ -21,6 +21,12 @@ import (
 // coarse to capture (per-window efficiency, batched comparison and
 // validation counts, live FDTree footprint).
 type EngineMetrics struct {
+	// Phase 0: ingest and preprocessing.
+	IngestedRows     *Counter   // hyfd_ingest_rows_total
+	IngestDuration   *Histogram // hyfd_ingest_duration_seconds
+	PLIsBuilt        *Counter   // hyfd_plis_built_total
+	PLIBuildDuration *Histogram // hyfd_pli_build_duration_seconds
+
 	// Phase 1: sampling.
 	Comparisons              *Counter   // hyfd_comparisons_total
 	SamplingRounds           *Counter   // hyfd_sampling_rounds_total
@@ -65,6 +71,15 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 	candidates := r.CounterVec("hyfd_validation_candidates_total",
 		"FD candidates checked during Phase 2, by verdict.", "verdict")
 	return &EngineMetrics{
+		IngestedRows: r.Counter("hyfd_ingest_rows_total",
+			"Rows parsed from external input into relations."),
+		IngestDuration: r.Histogram("hyfd_ingest_duration_seconds",
+			"Wall-clock duration of each relation ingest.", nil),
+		PLIsBuilt: r.Counter("hyfd_plis_built_total",
+			"Per-attribute PLIs constructed during preprocessing."),
+		PLIBuildDuration: r.Histogram("hyfd_pli_build_duration_seconds",
+			"Wall-clock build latency of each attribute's PLI.", nil),
+
 		Comparisons: r.Counter("hyfd_comparisons_total",
 			"Record-pair comparisons performed by the sampler."),
 		SamplingRounds: r.Counter("hyfd_sampling_rounds_total",
@@ -126,6 +141,12 @@ func (m *EngineMetrics) Observer() trace.Observer {
 	}
 	return trace.ObserverFunc(func(e trace.Event) {
 		switch ev := e.(type) {
+		case trace.IngestDone:
+			m.IngestedRows.Add(int64(ev.Rows))
+			m.IngestDuration.Observe(ev.Duration.Seconds())
+		case trace.PLIBuilt:
+			m.PLIsBuilt.Inc()
+			m.PLIBuildDuration.Observe(ev.Duration.Seconds())
 		case trace.PreprocessingDone:
 			m.PreprocessingDuration.Observe(ev.Duration.Seconds())
 		case trace.SamplingRound:

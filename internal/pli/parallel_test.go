@@ -1,0 +1,122 @@
+package pli
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hyfd/internal/datasets"
+	"hyfd/internal/relation"
+)
+
+// wideRelation generates a deterministic 70-column relation with keys,
+// correlated columns, constants and nulls — the shapes parallel
+// preprocessing must reproduce exactly.
+func wideRelation(t testing.TB) *relation.Relation {
+	t.Helper()
+	cols := make([]datasets.Column, 70)
+	for i := range cols {
+		switch i % 7 {
+		case 0:
+			cols[i] = datasets.Column{Kind: datasets.Key}
+		case 1:
+			cols[i] = datasets.Column{Kind: datasets.Constant}
+		case 2:
+			cols[i] = datasets.Column{Kind: datasets.Categorical, Domain: 5, NullRate: 0.1}
+		case 3:
+			cols[i] = datasets.Column{Kind: datasets.Derived, Src: i - 1, Domain: 8}
+		case 4:
+			cols[i] = datasets.Column{Kind: datasets.Hierarchy, Src: i - 2, Domain: 3, NullRate: 0.05}
+		default:
+			cols[i] = datasets.Column{Kind: datasets.Categorical, Domain: 12}
+		}
+	}
+	return datasets.Generate(datasets.Config{Name: "wide", Rows: 400, Seed: 7, Columns: cols})
+}
+
+// TestParallelIndexIsDeterministic asserts the core determinism contract:
+// BuildAllWith and NewIndexWith yield bit-for-bit identical PLIs, records,
+// order and ranks for every thread count, under both null semantics.
+func TestParallelIndexIsDeterministic(t *testing.T) {
+	rel := wideRelation(t)
+	for _, ns := range []relation.NullSemantics{relation.NullEqualsNull, relation.NullNotEqualsNull} {
+		t.Run(ns.String(), func(t *testing.T) {
+			want := NewIndex(rel, ns)
+			wantPlis := BuildAll(rel, ns)
+			for _, threads := range []int{0, 2, 8} {
+				got := NewIndexWith(rel, ns, Options{Threads: threads})
+				if !reflect.DeepEqual(got.Plis, wantPlis) {
+					t.Fatalf("threads=%d: parallel PLIs differ from sequential", threads)
+				}
+				if !reflect.DeepEqual(got.Records, want.Records) {
+					t.Fatalf("threads=%d: compressed records differ", threads)
+				}
+				if !reflect.DeepEqual(got.Order, want.Order) {
+					t.Fatalf("threads=%d: attribute order differs", threads)
+				}
+				if !reflect.DeepEqual(got.Rank(), want.Rank()) {
+					t.Fatalf("threads=%d: ranks differ", threads)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildAllWithOnBuildCoversEveryAttribute checks the per-attribute
+// instrumentation hook fires exactly once per attribute, from any worker.
+func TestBuildAllWithOnBuildCoversEveryAttribute(t *testing.T) {
+	rel := wideRelation(t)
+	for _, threads := range []int{1, 4} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		BuildAllWith(rel, relation.NullEqualsNull, Options{
+			Threads: threads,
+			OnBuild: func(p *PLI, d time.Duration) {
+				if d < 0 {
+					t.Errorf("attr %d: negative build duration %v", p.Attr, d)
+				}
+				mu.Lock()
+				seen[p.Attr]++
+				mu.Unlock()
+			},
+		})
+		if len(seen) != rel.NumCols() {
+			t.Fatalf("threads=%d: OnBuild covered %d of %d attributes", threads, len(seen), rel.NumCols())
+		}
+		for a, n := range seen {
+			if n != 1 {
+				t.Fatalf("threads=%d: attr %d built %d times", threads, a, n)
+			}
+		}
+	}
+}
+
+func BenchmarkNewIndexSequentialWide(b *testing.B) {
+	rel := benchWide()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewIndexWith(rel, relation.NullEqualsNull, Options{Threads: 1})
+	}
+}
+
+func BenchmarkNewIndexParallelWide(b *testing.B) {
+	rel := benchWide()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewIndexWith(rel, relation.NullEqualsNull, Options{Threads: 8})
+	}
+}
+
+func benchWide() *relation.Relation {
+	cols := make([]datasets.Column, 64)
+	for i := range cols {
+		cols[i] = datasets.Column{Kind: datasets.Categorical, Domain: 1 + i%50}
+	}
+	return datasets.Generate(datasets.Config{
+		Name: fmt.Sprintf("bench-wide-%d", len(cols)), Rows: 2000, Seed: 3, Columns: cols,
+	})
+}

@@ -7,7 +7,10 @@
 package pli
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"hyfd/internal/relation"
 )
@@ -80,21 +83,79 @@ func Build(attr int, column []string, ns relation.NullSemantics) *PLI {
 	return p
 }
 
-// BuildAll constructs one PLI per attribute of the relation.
-func BuildAll(rel *relation.Relation, ns relation.NullSemantics) []*PLI {
-	plis := make([]*PLI, rel.NumCols())
-	cols := make([][]string, rel.NumCols())
-	for a := range cols {
-		cols[a] = make([]string, rel.NumRows())
+// Options configures preprocessing (BuildAllWith, NewIndexWith).
+type Options struct {
+	// Threads is the worker count for per-attribute PLI construction and
+	// compressed-record inversion; 1 builds sequentially, any value <= 0
+	// picks runtime.GOMAXPROCS(0). Per-attribute construction is fully
+	// independent and each attribute's output is deterministic, so every
+	// thread count yields bit-for-bit identical PLIs, records and order.
+	Threads int
+	// OnBuild, when non-nil, receives every attribute's finished PLI and
+	// its build latency. With Threads > 1 it is called concurrently from
+	// worker goroutines; callers needing ordered delivery should record
+	// into a per-attribute slot (PLI.Attr) and replay afterwards.
+	OnBuild func(p *PLI, d time.Duration)
+}
+
+// threadCount resolves the configured worker count: <= 0 means all CPUs.
+func (o Options) threadCount() int {
+	if o.Threads <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	for i, row := range rel.Rows {
-		for a, v := range row {
-			cols[a][i] = v
+	return o.Threads
+}
+
+// BuildAll constructs one PLI per attribute of the relation, sequentially.
+func BuildAll(rel *relation.Relation, ns relation.NullSemantics) []*PLI {
+	return BuildAllWith(rel, ns, Options{Threads: 1})
+}
+
+// BuildAllWith constructs one PLI per attribute of the relation, fanning
+// the attributes out over a worker pool. The result is identical to the
+// sequential build for every thread count.
+func BuildAllWith(rel *relation.Relation, ns relation.NullSemantics, opts Options) []*PLI {
+	plis := make([]*PLI, rel.NumCols())
+	threads := opts.threadCount()
+	if threads > len(plis) {
+		threads = len(plis)
+	}
+	buildOne := func(a int) {
+		start := time.Time{}
+		if opts.OnBuild != nil {
+			start = time.Now()
+		}
+		col := make([]string, len(rel.Rows))
+		for i, row := range rel.Rows {
+			col[i] = row[a]
+		}
+		plis[a] = Build(a, col, ns)
+		if opts.OnBuild != nil {
+			opts.OnBuild(plis[a], time.Since(start))
 		}
 	}
-	for a := range plis {
-		plis[a] = Build(a, cols[a], ns)
+	if threads <= 1 {
+		for a := range plis {
+			buildOne(a)
+		}
+		return plis
 	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range work {
+				buildOne(a)
+			}
+		}()
+	}
+	for a := range plis {
+		work <- a
+	}
+	close(work)
+	wg.Wait()
 	return plis
 }
 
@@ -112,9 +173,19 @@ type Index struct {
 	NumCols int
 }
 
-// NewIndex preprocesses a relation into PLIs and compressed records.
+// NewIndex preprocesses a relation into PLIs and compressed records,
+// sequentially.
 func NewIndex(rel *relation.Relation, ns relation.NullSemantics) *Index {
-	plis := BuildAll(rel, ns)
+	return NewIndexWith(rel, ns, Options{Threads: 1})
+}
+
+// NewIndexWith preprocesses a relation into PLIs and compressed records
+// with a worker pool (Alg. 1, parallelized per attribute). Both the PLI
+// build and the record inversion partition their work by attribute —
+// workers write disjoint columns of the record matrix — so the index is
+// bit-for-bit identical across thread counts.
+func NewIndexWith(rel *relation.Relation, ns relation.NullSemantics, opts Options) *Index {
+	plis := BuildAllWith(rel, ns, opts)
 	idx := &Index{
 		Plis:    plis,
 		NumRows: rel.NumRows(),
@@ -128,12 +199,38 @@ func NewIndex(rel *relation.Relation, ns relation.NullSemantics) *Index {
 	for r := 0; r < idx.NumRows; r++ {
 		idx.Records[r], flat = flat[:idx.NumCols], flat[idx.NumCols:]
 	}
-	for a, p := range plis {
-		for cid, cluster := range p.Clusters {
+	invert := func(a int) {
+		for cid, cluster := range plis[a].Clusters {
 			for _, r := range cluster {
 				idx.Records[r][a] = int32(cid)
 			}
 		}
+	}
+	threads := opts.threadCount()
+	if threads > idx.NumCols {
+		threads = idx.NumCols
+	}
+	if threads <= 1 {
+		for a := range plis {
+			invert(a)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for a := range work {
+					invert(a)
+				}
+			}()
+		}
+		for a := range plis {
+			work <- a
+		}
+		close(work)
+		wg.Wait()
 	}
 	idx.Order = make([]int, idx.NumCols)
 	for a := range idx.Order {

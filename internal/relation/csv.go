@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 )
 
@@ -21,10 +22,32 @@ type CSVOptions struct {
 	// NullLiteral, when non-empty, is an additional token mapped to Null
 	// (e.g. "NULL", "\\N").
 	NullLiteral string
+	// Threads is the number of concurrent chunk parsers; 1 parses
+	// sequentially, any value <= 0 picks runtime.GOMAXPROCS(0). The
+	// parallel reader produces a relation bit-for-bit identical to the
+	// sequential one — same row order, same null mapping, same error
+	// messages — see csv_parallel.go for the determinism argument.
+	Threads int
 }
 
-// ReadCSV parses a relation from CSV input.
+// ReadCSV parses a relation from CSV input. With more than one thread
+// configured (the default resolves to the number of CPUs) the input is
+// split into record-aligned chunks that parse concurrently.
 func ReadCSV(name string, rd io.Reader, opts CSVOptions) (*Relation, error) {
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > 1 {
+		return readCSVParallel(name, rd, opts, threads)
+	}
+	return readCSVSequential(name, rd, opts)
+}
+
+// readCSVSequential is the single-threaded reference parser. The parallel
+// reader defers to it for small inputs and to reproduce its exact error
+// messages when any chunk fails to parse.
+func readCSVSequential(name string, rd io.Reader, opts CSVOptions) (*Relation, error) {
 	cr := csv.NewReader(rd)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
@@ -59,12 +82,7 @@ func ReadCSV(name string, rd io.Reader, opts CSVOptions) (*Relation, error) {
 		}
 		row := make([]string, len(rec))
 		for i, cell := range rec {
-			if (opts.EmptyIsNull && cell == "") ||
-				(opts.NullLiteral != "" && cell == opts.NullLiteral) {
-				row[i] = Null
-			} else {
-				row[i] = cell
-			}
+			row[i] = mapNull(cell, opts)
 		}
 		rel.Rows = append(rel.Rows, row)
 	}
@@ -75,6 +93,15 @@ func ReadCSV(name string, rd io.Reader, opts CSVOptions) (*Relation, error) {
 		return nil, err
 	}
 	return rel, nil
+}
+
+// mapNull applies the options' null mapping to one cell.
+func mapNull(cell string, opts CSVOptions) string {
+	if (opts.EmptyIsNull && cell == "") ||
+		(opts.NullLiteral != "" && cell == opts.NullLiteral) {
+		return Null
+	}
+	return cell
 }
 
 // ReadCSVFile parses a relation from a CSV file; the relation is named after

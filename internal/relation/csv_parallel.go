@@ -1,0 +1,181 @@
+package relation
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The parallel CSV reader streams the input into record-aligned byte chunks
+// and parses the chunks concurrently, preserving exact row order and null
+// semantics. Its determinism contract: for every input, ReadCSV with any
+// thread count returns the same relation — or the same error — as the
+// sequential parser.
+//
+// Chunk boundaries are placed only at newlines with an even number of
+// preceding quote characters. For any input the sequential parser accepts,
+// quotes exclusively delimit quoted fields (doubled inside them), so even
+// quote parity is exactly "outside a quoted field" and every chunk is a
+// whole number of CSV records; per-record parsing is context-free beyond
+// that, so the concatenation of the chunk parses equals the sequential
+// parse. For inputs the sequential parser rejects, either the offending
+// record lands intact in some chunk (and fails there the same way) or a
+// record straddles a chunk boundary inside an unclosed quote (and the
+// truncated chunk fails at EOF) — any chunk error triggers a sequential
+// re-parse of the buffered input, so the caller always sees the sequential
+// parser's canonical error.
+
+// csvChunkSize is the target byte length of one parse chunk: large enough
+// to amortize per-chunk reader setup, small enough to spread wide inputs
+// over all workers.
+const csvChunkSize = 1 << 18
+
+// readCSVParallel parses record-aligned chunks of the input concurrently on
+// the given number of workers and stitches the rows back in input order.
+func readCSVParallel(name string, rd io.Reader, opts CSVOptions, threads int) (*Relation, error) {
+	chunks, err := splitCSVChunks(rd)
+	if err != nil {
+		return nil, fmt.Errorf("relation %q: %w", name, err)
+	}
+
+	type parsed struct {
+		rows [][]string
+		err  error
+	}
+	results := make([]parsed, len(chunks))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	if threads > len(chunks) {
+		threads = len(chunks)
+	}
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				// The header record (first record of chunk 0) keeps its raw
+				// cells; everything else gets the null mapping, exactly as
+				// the sequential parser applies it.
+				skipFirst := i == 0 && opts.HasHeader
+				rows, err := parseCSVChunk(chunks[i], opts, skipFirst)
+				results[i] = parsed{rows: rows, err: err}
+			}
+		}()
+	}
+	for i := range chunks {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, p := range results {
+		if p.err != nil {
+			// Some chunk failed to parse. Re-run the sequential parser over
+			// the buffered input so the caller sees its canonical error (and
+			// error precedence) rather than a chunk-local line number.
+			return readCSVSequential(name, chunksReader(chunks), opts)
+		}
+	}
+
+	rel := &Relation{Name: name}
+	first := true
+	for _, p := range results {
+		for _, rec := range p.rows {
+			if first {
+				first = false
+				if opts.HasHeader {
+					rel.Columns = rec
+					continue
+				}
+				rel.Columns = make([]string, len(rec))
+				for i := range rec {
+					rel.Columns[i] = fmt.Sprintf("col%d", i)
+				}
+			}
+			if len(rec) != len(rel.Columns) {
+				return nil, fmt.Errorf("relation %q: row %d has %d fields, expected %d",
+					name, len(rel.Rows)+1, len(rec), len(rel.Columns))
+			}
+			rel.Rows = append(rel.Rows, rec)
+		}
+	}
+	if rel.Columns == nil {
+		return nil, fmt.Errorf("relation %q: empty input", name)
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// splitCSVChunks reads the input into chunks of whole CSV records: a chunk
+// ends only after a newline whose preceding quote count is even, i.e.
+// outside any quoted field.
+func splitCSVChunks(rd io.Reader) ([][]byte, error) {
+	br := bufio.NewReaderSize(rd, 64<<10)
+	var chunks [][]byte
+	cur := make([]byte, 0, csvChunkSize+4096)
+	inQuote := false
+	for {
+		line, err := br.ReadBytes('\n')
+		cur = append(cur, line...)
+		for _, b := range line {
+			if b == '"' {
+				inQuote = !inQuote
+			}
+		}
+		if err == io.EOF {
+			if len(cur) > 0 {
+				chunks = append(chunks, cur)
+			}
+			return chunks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !inQuote && len(cur) >= csvChunkSize {
+			chunks = append(chunks, cur)
+			cur = make([]byte, 0, csvChunkSize+4096)
+		}
+	}
+}
+
+// parseCSVChunk parses one chunk's records and applies the null mapping to
+// every record except, when skipFirst is set, the header record.
+func parseCSVChunk(chunk []byte, opts CSVOptions, skipFirst bool) ([][]string, error) {
+	cr := csv.NewReader(bytes.NewReader(chunk))
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = false
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !skipFirst || len(rows) > 0 {
+			for i, cell := range rec {
+				rec[i] = mapNull(cell, opts)
+			}
+		}
+		rows = append(rows, rec)
+	}
+}
+
+// chunksReader re-reads the buffered chunks as one stream for the
+// sequential error re-parse.
+func chunksReader(chunks [][]byte) io.Reader {
+	readers := make([]io.Reader, len(chunks))
+	for i, c := range chunks {
+		readers[i] = bytes.NewReader(c)
+	}
+	return io.MultiReader(readers...)
+}

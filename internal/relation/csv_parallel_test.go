@@ -1,0 +1,134 @@
+package relation
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildTrickyCSV produces an input exercising everything the chunker must
+// respect: quoted fields with embedded newlines, separators and escaped
+// quotes, empty (null) cells, a NULL literal, and enough rows to span many
+// chunks.
+func buildTrickyCSV(rows int) string {
+	var b strings.Builder
+	b.WriteString("id,quoted,cat,maybe\n")
+	for i := 0; i < rows; i++ {
+		switch i % 5 {
+		case 0:
+			fmt.Fprintf(&b, "%d,\"line1\nline2 %d\",c%d,\n", i, i, i%3)
+		case 1:
+			fmt.Fprintf(&b, "%d,\"comma, quote \"\"q%d\"\"\",c%d,NULL\n", i, i, i%3)
+		case 2:
+			fmt.Fprintf(&b, "%d,plain%d,c%d,v\n", i, i, i%3)
+		case 3:
+			fmt.Fprintf(&b, "%d,,c%d,\"multi\n\nblank %d\"\n", i, i%3, i)
+		default:
+			fmt.Fprintf(&b, "%d,\"trailing\n\",c%d,x%d\n", i, i%3, i)
+		}
+	}
+	return b.String()
+}
+
+func TestParallelReadCSVMatchesSequential(t *testing.T) {
+	opts := CSVOptions{HasHeader: true, EmptyIsNull: true, NullLiteral: "NULL"}
+	input := buildTrickyCSV(200)
+	seqOpts := opts
+	seqOpts.Threads = 1
+	want, err := ReadCSV("t", strings.NewReader(input), seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{0, 2, 8} {
+		parOpts := opts
+		parOpts.Threads = threads
+		got, err := ReadCSV("t", strings.NewReader(input), parOpts)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("threads=%d: parallel parse differs from sequential", threads)
+		}
+	}
+}
+
+func TestParallelReadCSVSpansChunkBoundaries(t *testing.T) {
+	// Enough data to guarantee several chunks (csvChunkSize = 256 KiB):
+	// long quoted cells with newlines force boundaries to respect quotes.
+	var b strings.Builder
+	b.WriteString("a,b\n")
+	long := strings.Repeat("x", 4096)
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "%d,\"%s\n%s\"\n", i, long, long)
+	}
+	input := b.String()
+	if len(input) < 2*csvChunkSize {
+		t.Fatalf("input too small to span chunks: %d bytes", len(input))
+	}
+	seq, err := ReadCSV("t", strings.NewReader(input), CSVOptions{HasHeader: true, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReadCSV("t", strings.NewReader(input), CSVOptions{HasHeader: true, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("chunk-spanning parallel parse differs from sequential")
+	}
+	if par.NumRows() != 300 {
+		t.Fatalf("rows = %d, want 300", par.NumRows())
+	}
+}
+
+func TestParallelReadCSVErrorsMatchSequential(t *testing.T) {
+	cases := []string{
+		"",                        // empty input
+		"a,b\n1,2,3\n",            // arity mismatch
+		"a,b\n1,\"unterminated\n", // quote running to EOF
+		"a,b\n1,2\nx\"y,3\n",      // bare quote
+		"a,a\n1,2\n",              // duplicate column names
+		"a,\n1,2\n",               // empty column name
+	}
+	for _, input := range cases {
+		seqOpts := CSVOptions{HasHeader: true, EmptyIsNull: true, Threads: 1}
+		parOpts := seqOpts
+		parOpts.Threads = 4
+		_, seqErr := ReadCSV("t", strings.NewReader(input), seqOpts)
+		_, parErr := ReadCSV("t", strings.NewReader(input), parOpts)
+		if seqErr == nil {
+			t.Fatalf("input %q: sequential parser accepted a bad input", input)
+		}
+		if parErr == nil {
+			t.Fatalf("input %q: parallel parser accepted what sequential rejects", input)
+		}
+		if seqErr.Error() != parErr.Error() {
+			t.Fatalf("input %q: error mismatch:\nsequential: %v\nparallel:   %v", input, seqErr, parErr)
+		}
+	}
+}
+
+func BenchmarkReadCSVSequential(b *testing.B) {
+	input := buildTrickyCSV(5000)
+	opts := CSVOptions{HasHeader: true, EmptyIsNull: true, NullLiteral: "NULL", Threads: 1}
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV("t", strings.NewReader(input), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCSVParallel(b *testing.B) {
+	input := buildTrickyCSV(5000)
+	opts := CSVOptions{HasHeader: true, EmptyIsNull: true, NullLiteral: "NULL", Threads: 8}
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV("t", strings.NewReader(input), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

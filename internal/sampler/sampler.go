@@ -9,6 +9,7 @@ package sampler
 import (
 	"container/heap"
 	"context"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -79,40 +80,46 @@ type Sampler struct {
 	Comparisons int64
 }
 
-// SetInstruments attaches the sampler's direct metrics hooks. The zero
-// value (and never calling this) is a no-op: the per-comparison hot path
-// stays untouched, comparison counts are batched once per round, and the
-// per-window instruments fire once per window run.
-func (s *Sampler) SetInstruments(in metrics.SamplerInstruments) { s.inst = in }
-
-// SetUnfocused disables the neighborhood sortation of Fig. 3(1): windows
-// then slide over clusters in raw record order. This ablation quantifies
-// the contribution of focused sampling; it affects efficiency only, never
-// correctness.
-func (s *Sampler) SetUnfocused(v bool) {
-	if s.initialized {
-		panic("sampler: SetUnfocused after first Run")
-	}
-	s.unfocused = v
+// Config parameterizes a Sampler. It replaces the former per-component
+// setters so the engine's single thread knob configures the sampler
+// atomically at construction time.
+type Config struct {
+	// Threshold is the initial sampling efficiency cutoff; any value <= 0
+	// picks DefaultEfficiencyThreshold.
+	Threshold float64
+	// Threads is the worker count for parallel cluster sortation and
+	// window runs (§10.4: the comparisons are independent of one another);
+	// 1 is sequential, any value <= 0 picks runtime.GOMAXPROCS(0). Every
+	// thread count produces the same observations in the same order.
+	Threads int
+	// Unfocused disables the neighborhood sortation of Fig. 3(1): windows
+	// then slide over clusters in raw record order. This ablation
+	// quantifies the contribution of focused sampling; it affects
+	// efficiency only, never correctness.
+	Unfocused bool
+	// Instruments carries the sampler's direct metrics hooks. The zero
+	// value is a no-op: the per-comparison hot path stays untouched,
+	// comparison counts are batched once per round, and the per-window
+	// instruments fire once per window run.
+	Instruments metrics.SamplerInstruments
 }
 
-// SetThreads enables parallel window runs with n workers (§10.4: the
-// comparisons are independent of one another). n <= 1 keeps the
-// single-threaded behavior.
-func (s *Sampler) SetThreads(n int) {
-	s.threads = n
-}
-
-// New returns a Sampler over the preprocessed index. threshold is the
-// initial sampling efficiency cutoff; pass 0 for the paper's default of
-// 0.01.
-func New(ix *pli.Index, threshold float64) *Sampler {
+// New returns a Sampler over the preprocessed index.
+func New(ix *pli.Index, cfg Config) *Sampler {
+	threshold := cfg.Threshold
 	if threshold <= 0 {
 		threshold = DefaultEfficiencyThreshold
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
 	}
 	return &Sampler{
 		ix:        ix,
 		threshold: threshold,
+		threads:   threads,
+		unfocused: cfg.Unfocused,
+		inst:      cfg.Instruments,
 		seen:      make(map[string]struct{}),
 	}
 }
@@ -180,18 +187,18 @@ func (s *Sampler) Run(ctx context.Context, suggestions []pli.Pair) ([]bitset.Set
 // the distinctness order (Fig. 3(1)): the left neighbor has more clusters
 // (a promising key), ties fall back to the right neighbor. Distinct sort
 // keys per attribute give each record a different neighborhood in each of
-// its clusters. The context is checked once per attribute.
+// its clusters. Attributes are independent, so with threads configured they
+// sort on a worker pool; each attribute's sortation is deterministic, so
+// the result is identical for every thread count. The context is checked
+// once per attribute.
 func (s *Sampler) sortClusters(ctx context.Context) error {
 	s.sorted = make([][][]int32, s.ix.NumCols)
 	pos := s.ix.Rank()
-	for attr := 0; attr < s.ix.NumCols; attr++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+	sortAttr := func(attr int) {
 		p := s.ix.Plis[attr]
 		if s.unfocused {
 			s.sorted[attr] = p.Clusters
-			continue
+			return
 		}
 		left, right := -1, -1
 		if i := pos[attr]; i > 0 {
@@ -221,6 +228,38 @@ func (s *Sampler) sortClusters(ctx context.Context) error {
 			clusters[ci] = c
 		}
 		s.sorted[attr] = clusters
+	}
+	if s.threads > 1 && s.ix.NumCols > 1 {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		workers := s.threads
+		if workers > s.ix.NumCols {
+			workers = s.ix.NumCols
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for attr := range work {
+					if ctx.Err() != nil {
+						continue // drain the channel without working
+					}
+					sortAttr(attr)
+				}
+			}()
+		}
+		for attr := 0; attr < s.ix.NumCols; attr++ {
+			work <- attr
+		}
+		close(work)
+		wg.Wait()
+		return ctx.Err()
+	}
+	for attr := 0; attr < s.ix.NumCols; attr++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sortAttr(attr)
 	}
 	return nil
 }

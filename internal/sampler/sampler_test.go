@@ -40,8 +40,7 @@ func TestRunCanceledContext(t *testing.T) {
 	}
 	for _, threads := range []int{1, 4} {
 		ix := buildIndex(rows, []string{"A", "B", "C"})
-		s := New(ix, 0)
-		s.SetThreads(threads)
+		s := New(ix, Config{Threads: threads})
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()
 		if _, err := s.Run(ctx, nil); !errors.Is(err, context.Canceled) {
@@ -56,7 +55,7 @@ func TestFirstRunFindsViolations(t *testing.T) {
 		{"1", "2", "3"},
 		{"1", "4", "5"},
 	}, []string{"A", "B", "C"})
-	s := New(ix, 0)
+	s := New(ix, Config{Threads: 1})
 	obs := mustRun(t, s, nil)
 	if len(obs) != 1 {
 		t.Fatalf("observations = %v", obs)
@@ -82,7 +81,7 @@ func TestObservationsAreSoundAgreeSets(t *testing.T) {
 		})
 	}
 	ix := buildIndex(rows, []string{"A", "B", "C", "D"})
-	s := New(ix, 0)
+	s := New(ix, Config{Threads: 1})
 	obs := mustRun(t, s, nil)
 	if len(obs) == 0 {
 		t.Fatal("no observations on a 50-row correlated relation")
@@ -112,7 +111,7 @@ func TestRunDeduplicatesAcrossCalls(t *testing.T) {
 	ix := buildIndex([][]string{
 		{"1", "2"}, {"1", "3"}, {"1", "4"},
 	}, []string{"A", "B"})
-	s := New(ix, 0)
+	s := New(ix, Config{Threads: 1})
 	first := mustRun(t, s, nil)
 	if len(first) != 1 { // all pairs agree exactly on {A}
 		t.Fatalf("first run = %v", first)
@@ -137,7 +136,7 @@ func TestSuggestionsProcessedOnReentry(t *testing.T) {
 		{"w", "y", "3"},
 		{"x", "y", "4"},
 	}, []string{"A", "B", "C"})
-	s := New(ix, 0)
+	s := New(ix, Config{Threads: 1})
 	mustRun(t, s, nil)
 	before := s.ObservationCount()
 	obs := mustRun(t, s, []pli.Pair{{A: 0, B: 3}})
@@ -157,7 +156,7 @@ func TestUniqueColumnsYieldNothing(t *testing.T) {
 	ix := buildIndex([][]string{
 		{"1", "a"}, {"2", "b"}, {"3", "c"},
 	}, []string{"A", "B"})
-	s := New(ix, 0)
+	s := New(ix, Config{Threads: 1})
 	obs := mustRun(t, s, nil)
 	// No PLI clusters exist, so no pairs are compared and no violations
 	// observed.
@@ -172,7 +171,7 @@ func TestUniqueColumnsYieldNothing(t *testing.T) {
 
 func TestEmptyRelation(t *testing.T) {
 	ix := buildIndex(nil, []string{"A", "B"})
-	s := New(ix, 0)
+	s := New(ix, Config{Threads: 1})
 	if obs := mustRun(t, s, nil); len(obs) != 0 {
 		t.Fatalf("obs on empty relation = %v", obs)
 	}
@@ -182,7 +181,7 @@ func TestDuplicateRecordsAgreeEverywhere(t *testing.T) {
 	ix := buildIndex([][]string{
 		{"1", "2"}, {"1", "2"},
 	}, []string{"A", "B"})
-	s := New(ix, 0)
+	s := New(ix, Config{Threads: 1})
 	obs := mustRun(t, s, nil)
 	if len(obs) != 1 || !obs[0].Equal(bitset.FromIndices(2, 0, 1)) {
 		t.Fatalf("obs = %v, want full agree-set", obs)
@@ -197,7 +196,7 @@ func TestProgressiveWindowingCoversClusters(t *testing.T) {
 		rows = append(rows, []string{"same", strconv.Itoa(i / 2), strconv.Itoa(i % 2)})
 	}
 	ix := buildIndex(rows, []string{"A", "B", "C"})
-	s := New(ix, 0)
+	s := New(ix, Config{Threads: 1})
 	obs := mustRun(t, s, nil)
 	// Expected distinct agree patterns containing A: {A}, {A,B}, {A,C},
 	// {A,B,C}... which exist depends on data; at minimum {A,B} (adjacent
@@ -217,12 +216,11 @@ func TestParallelSamplingMatchesSequential(t *testing.T) {
 		})
 	}
 	ix := buildIndex(rows, []string{"A", "B", "C", "D"})
-	seq := New(ix, 0)
+	seq := New(ix, Config{Threads: 1})
 	seqObs := mustRun(t, seq, nil)
 
 	ix2 := buildIndex(rows, []string{"A", "B", "C", "D"})
-	par := New(ix2, 0)
-	par.SetThreads(8)
+	par := New(ix2, Config{Threads: 8})
 	parObs := mustRun(t, par, nil)
 
 	if seq.Comparisons != par.Comparisons {
@@ -252,7 +250,7 @@ func BenchmarkSamplerRun(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := New(ix, 0)
+		s := New(ix, Config{Threads: 1})
 		s.Run(context.Background(), nil)
 	}
 }

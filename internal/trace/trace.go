@@ -48,9 +48,37 @@ func (p Phase) String() string {
 // below form the complete event vocabulary; observers type-switch on them.
 type Event interface{ event() }
 
+// IngestDone reports that a relation was parsed from external input (CSV).
+// Ingest happens before the engine runs, so this event is emitted by the
+// loading layer (e.g. cmd/hyfd) rather than the orchestrator; it shares the
+// observer vocabulary so progress rendering and metrics cover the full
+// pipeline from bytes to FDs.
+type IngestDone struct {
+	Rows, Cols int
+	// Threads is the parser worker count the ingest ran with.
+	Threads int
+	// Duration is the ingest wall-clock time.
+	Duration time.Duration
+}
+
+// PLIBuilt reports the construction of one attribute's PLI during
+// preprocessing. The orchestrator emits one event per attribute, in
+// attribute order, after the (possibly parallel) build completes.
+type PLIBuilt struct {
+	// Attr is the attribute index.
+	Attr int
+	// Clusters is the attribute's distinct-value count (including stripped
+	// singletons).
+	Clusters int
+	// Duration is the attribute's build wall-clock time.
+	Duration time.Duration
+}
+
 // PreprocessingDone reports that PLIs and compressed records were built.
 type PreprocessingDone struct {
 	Rows, Cols int
+	// Threads is the worker count preprocessing ran with.
+	Threads int
 	// Duration is the preprocessing wall-clock time.
 	Duration time.Duration
 }
@@ -107,6 +135,8 @@ type Done struct {
 	Duration time.Duration
 }
 
+func (IngestDone) event()        {}
+func (PLIBuilt) event()          {}
 func (PreprocessingDone) event() {}
 func (SamplingRound) event()     {}
 func (PhaseSwitch) event()       {}

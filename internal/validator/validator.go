@@ -68,10 +68,11 @@ func WithInvalidThreshold(t float64) Option {
 }
 
 // WithThreads sets the number of worker goroutines used for node
-// validation; n <= 1 means sequential, 0 picks GOMAXPROCS.
+// validation; 1 means sequential, any value <= 0 picks
+// runtime.GOMAXPROCS(0) — the engine-wide thread-count contract.
 func WithThreads(n int) Option {
 	return func(v *Validator) {
-		if n == 0 {
+		if n <= 0 {
 			n = runtime.GOMAXPROCS(0)
 		}
 		v.threads = n

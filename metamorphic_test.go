@@ -1,0 +1,145 @@
+package hyfd_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"hyfd"
+	"hyfd/internal/fd"
+)
+
+// Metamorphic properties of FD discovery: the discovered dependency set is
+// a function of the relation's *content*, so transformations that preserve
+// the content semantics must preserve the result. Each property is checked
+// for HyFD and two structurally different baselines (lattice-traversing
+// TANE, negative-cover-based FDEP) under both null semantics.
+
+// metamorphicAlgorithms are the implementations the properties run against.
+var metamorphicAlgorithms = []string{hyfd.AlgorithmHyFD, hyfd.AlgorithmTane, hyfd.AlgorithmFdep}
+
+// metamorphicRelation builds a small mixed relation: a key-ish column, a
+// constant column, correlated categorical columns, and sprinkled nulls —
+// enough structure that the FD set is non-trivial in both directions.
+func metamorphicRelation(rows int, seed int64) *hyfd.Relation {
+	r := rand.New(rand.NewSource(seed))
+	rel := hyfd.NewRelation("meta", []string{"id", "const", "cat", "dep", "noise"})
+	for i := 0; i < rows; i++ {
+		cat := r.Intn(4)
+		row := []string{
+			strconv.Itoa(i % (rows - 2)), // near-unique
+			"k",
+			strconv.Itoa(cat),
+			strconv.Itoa(cat * 2), // functionally determined by cat
+			strconv.Itoa(r.Intn(3)),
+		}
+		if r.Intn(8) == 0 {
+			row[4] = hyfd.Null
+		}
+		rel.AppendRow(row)
+	}
+	return rel
+}
+
+// discoverSet runs one algorithm and returns its FD set, failing the test
+// on error.
+func discoverSet(t *testing.T, alg string, rel *hyfd.Relation, ns hyfd.NullSemantics) *hyfd.FDSet {
+	t.Helper()
+	res, err := hyfd.DiscoverWith(alg, rel, hyfd.Options{NullSemantics: ns, Threads: 1})
+	if err != nil {
+		t.Fatalf("%s: %v", alg, err)
+	}
+	return res.Set
+}
+
+// forEachCase runs fn for every algorithm × null-semantics combination.
+func forEachCase(t *testing.T, fn func(t *testing.T, alg string, ns hyfd.NullSemantics)) {
+	for _, alg := range metamorphicAlgorithms {
+		for _, ns := range []hyfd.NullSemantics{hyfd.NullEqualsNull, hyfd.NullNotEqualsNull} {
+			alg, ns := alg, ns
+			name := alg + "/ns=" + strconv.Itoa(int(ns))
+			t.Run(name, func(t *testing.T) { fn(t, alg, ns) })
+		}
+	}
+}
+
+// TestMetamorphicRowShuffleInvariance: FDs are defined over record *pairs*,
+// so permuting the rows must not change the discovered set.
+func TestMetamorphicRowShuffleInvariance(t *testing.T) {
+	rel := metamorphicRelation(60, 101)
+	shuffled := hyfd.NewRelation(rel.Name, rel.Columns)
+	perm := rand.New(rand.NewSource(202)).Perm(rel.NumRows())
+	for _, i := range perm {
+		shuffled.AppendRow(rel.Rows[i])
+	}
+	forEachCase(t, func(t *testing.T, alg string, ns hyfd.NullSemantics) {
+		base := discoverSet(t, alg, rel, ns)
+		got := discoverSet(t, alg, shuffled, ns)
+		if !got.Equal(base) {
+			t.Fatalf("row shuffle changed the FD set:\nmissing: %v\nextra: %v",
+				base.Diff(got), got.Diff(base))
+		}
+	})
+}
+
+// TestMetamorphicRowDuplicationInvariance: duplicating existing rows adds
+// only reflexive pairs and pairs equivalent to existing ones, so the FD set
+// must not change.
+func TestMetamorphicRowDuplicationInvariance(t *testing.T) {
+	rel := metamorphicRelation(50, 303)
+	dup := hyfd.NewRelation(rel.Name, rel.Columns)
+	r := rand.New(rand.NewSource(404))
+	for _, row := range rel.Rows {
+		dup.AppendRow(row)
+		if r.Intn(3) == 0 {
+			dup.AppendRow(row)
+		}
+	}
+	dup.AppendRow(rel.Rows[0]) // and one guaranteed duplicate
+	forEachCase(t, func(t *testing.T, alg string, ns hyfd.NullSemantics) {
+		base := discoverSet(t, alg, rel, ns)
+		got := discoverSet(t, alg, dup, ns)
+		if !got.Equal(base) {
+			t.Fatalf("row duplication changed the FD set:\nmissing: %v\nextra: %v",
+				base.Diff(got), got.Diff(base))
+		}
+	})
+}
+
+// TestMetamorphicColumnPermutationConsistency: permuting the columns must
+// permute the discovered FDs' attribute indices and nothing else.
+func TestMetamorphicColumnPermutationConsistency(t *testing.T) {
+	rel := metamorphicRelation(60, 505)
+	// perm[old] = new attribute position.
+	perm := rand.New(rand.NewSource(606)).Perm(rel.NumCols())
+	cols := make([]string, rel.NumCols())
+	for old, new_ := range perm {
+		cols[new_] = rel.Columns[old]
+	}
+	permuted := hyfd.NewRelation(rel.Name, cols)
+	for _, row := range rel.Rows {
+		prow := make([]string, len(row))
+		for old, new_ := range perm {
+			prow[new_] = row[old]
+		}
+		permuted.AppendRow(prow)
+	}
+	forEachCase(t, func(t *testing.T, alg string, ns hyfd.NullSemantics) {
+		base := discoverSet(t, alg, rel, ns)
+		// Map the base set through the permutation.
+		want := fd.NewSet(rel.NumCols())
+		for _, f := range base.All() {
+			lhs := hyfd.NewAttrSet(rel.NumCols())
+			f.Lhs.ForEach(func(a int) bool {
+				lhs.Set(perm[a])
+				return true
+			})
+			want.Add(hyfd.FD{Lhs: lhs, Rhs: perm[f.Rhs]})
+		}
+		got := discoverSet(t, alg, permuted, ns)
+		if !got.Equal(want) {
+			t.Fatalf("column permutation inconsistent:\nmissing: %v\nextra: %v",
+				want.Diff(got), got.Diff(want))
+		}
+	})
+}

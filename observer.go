@@ -31,6 +31,11 @@ const (
 
 // The event vocabulary; see the trace package for field documentation.
 type (
+	// IngestDone reports a relation parsed from external input; it is
+	// emitted by loading layers (e.g. the CLI), not the engine itself.
+	IngestDone = trace.IngestDone
+	// PLIBuilt reports the construction of one attribute's PLI.
+	PLIBuilt = trace.PLIBuilt
 	// PreprocessingDone marks the end of PLI and compressed-record
 	// construction.
 	PreprocessingDone = trace.PreprocessingDone
