@@ -4,7 +4,7 @@ GO ?= go
 # seconds; override BENCH_JSON_FLAGS for a full-scale artifact run.
 BENCH_JSON_FLAGS ?= -exp table1 -inprocess -timeout 5s -table1-rows 100
 
-.PHONY: all build vet test race check bench bench-json fuzz-smoke
+.PHONY: all build vet lint test test-invariants race check bench bench-json fuzz-smoke
 
 # Wall-clock budget of the bounded differential-fuzz smoke run.
 FUZZTIME ?= 30s
@@ -17,15 +17,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs go vet plus hyfdvet, the project's own static-analysis suite
+# (determinism, ctxflow, hooksafe, goroutine, bitsetalias); any unsuppressed
+# finding fails the build.
+lint: vet
+	$(GO) run ./cmd/hyfdvet ./...
+
 test:
 	$(GO) test ./...
+
+# test-invariants re-runs the suite with the runtime assertion layer armed
+# (internal/invariant): fdtree, pli, and validator self-check their
+# structural contracts after every mutation.
+test-invariants:
+	$(GO) test -tags hyfdinvariants ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the repository's gate: everything must compile, pass vet, and
-# pass the full test suite under the race detector.
-check: build vet race
+# check is the repository's gate: everything must compile, pass vet and
+# hyfdvet, and pass the full test suite both under the race detector and
+# with runtime invariants armed.
+check: build lint race test-invariants
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

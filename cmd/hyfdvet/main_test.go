@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run with file-backed stdout/stderr and returns the exit
+// code and both streams.
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, err := os.Create(filepath.Join(dir, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outF.Close()
+	errF, err := os.Create(filepath.Join(dir, "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer errF.Close()
+	code = run(args, outF, errF)
+	out, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOut, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out), string(errOut)
+}
+
+// corpusArg points run at the analyzer test corpus, a self-contained module.
+const corpusArg = "../../internal/analysis/testdata/src"
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, rule := range []string{"determinism", "ctxflow", "hooksafe", "goroutine", "bitsetalias"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("-list output missing %q:\n%s", rule, out)
+		}
+	}
+}
+
+// TestRepoIsClean is the self-application gate: hyfdvet over its own module
+// must exit 0 with no findings. Every genuine exception in the tree carries
+// an audited //hyfdvet:allow comment.
+func TestRepoIsClean(t *testing.T) {
+	code, out, errOut := runCapture(t, "../../...")
+	if code != 0 {
+		t.Fatalf("hyfdvet on the repo exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if out != "" {
+		t.Errorf("expected no findings, got:\n%s", out)
+	}
+}
+
+// TestCorpusFails pins the non-zero exit on a module with violations and
+// that every rule of the suite fires at least once there.
+func TestCorpusFails(t *testing.T) {
+	code, out, errOut := runCapture(t, corpusArg)
+	if code != 1 {
+		t.Fatalf("hyfdvet on the corpus exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, rule := range []string{"determinism:", "ctxflow:", "hooksafe:", "goroutine:", "bitsetalias:"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("corpus findings missing rule %q:\n%s", rule, out)
+		}
+	}
+	if !strings.Contains(errOut, "finding(s)") {
+		t.Errorf("stderr missing findings summary: %q", errOut)
+	}
+}
+
+// TestRulesFilter restricts the run to one analyzer.
+func TestRulesFilter(t *testing.T) {
+	code, out, _ := runCapture(t, "-rules", "bitsetalias", corpusArg)
+	if code != 1 {
+		t.Fatalf("filtered run exited %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, "bitsetalias:") {
+			t.Errorf("non-bitsetalias finding under -rules=bitsetalias: %s", line)
+		}
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	code, _, errOut := runCapture(t, "-rules", "nosuchrule", corpusArg)
+	if code != 2 {
+		t.Fatalf("unknown rule exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown rule") {
+		t.Errorf("stderr missing unknown-rule report: %q", errOut)
+	}
+}

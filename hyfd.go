@@ -148,6 +148,7 @@ type Result struct {
 // Discover runs HyFD on the relation. It is shorthand for DiscoverContext
 // with a background context.
 func Discover(rel *Relation, opts Options) (*Result, error) {
+	//hyfdvet:allow ctxflow — public no-context compat shim; DiscoverContext is the primary API
 	return DiscoverContext(context.Background(), rel, opts)
 }
 
@@ -175,6 +176,7 @@ func DiscoverContext(ctx context.Context, rel *Relation, opts Options) (*Result,
 // DiscoverWith runs the named algorithm instead of HyFD; it is shorthand
 // for DiscoverWithContext with a background context.
 func DiscoverWith(algorithm string, rel *Relation, opts Options) (*Result, error) {
+	//hyfdvet:allow ctxflow — public no-context compat shim; DiscoverWithContext is the primary API
 	return DiscoverWithContext(context.Background(), algorithm, rel, opts)
 }
 

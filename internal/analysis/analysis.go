@@ -1,0 +1,206 @@
+// Package analysis is hyfd's stdlib-only static-analysis framework: a
+// multi-analyzer lint driver built on go/parser, go/ast, and go/types (no
+// golang.org/x/tools dependency) that loads the whole module, type-checks
+// every non-test package, and runs project-specific analyzers enforcing the
+// engine's determinism, context-propagation, hook-safety, goroutine-hygiene,
+// and bitset-aliasing contracts.
+//
+// Findings are reported as "file:line: rule: message". A finding can be
+// suppressed by placing a
+//
+//	//hyfdvet:allow <rule> — <justification>
+//
+// comment on the offending line or on the line directly above it. The
+// justification text is free-form but expected: a suppression records a
+// deliberate, audited exception to a contract, not a way to silence noise.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic, located in the module's sources.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical file:line: rule: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Package is one type-checked package of the loaded module.
+type Package struct {
+	// Path is the package's import path (module path + directory).
+	Path string
+	// Dir is the package's absolute directory.
+	Dir string
+	// Files are the package's parsed non-test files, in file-name order.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a fully loaded and type-checked module: the unit analyzers
+// operate on. Analyzers see one package at a time but may consult the whole
+// program (e.g. hooksafe derives nil-receiver safety from the metrics
+// package's method bodies wherever the call site lives).
+type Program struct {
+	// Fset positions every file of every package (and of source-imported
+	// dependencies).
+	Fset *token.FileSet
+	// ModulePath is the module's declared path (from go.mod).
+	ModulePath string
+	// Pkgs lists the module's packages in import-path order.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+}
+
+// Package returns the module package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// Pass is the per-(analyzer, package) context handed to an analyzer's Run.
+type Pass struct {
+	// Prog is the whole loaded module.
+	Prog *Program
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos under the pass's analyzer rule name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.Prog.Fset.Position(pos),
+		Rule: p.analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named rule set. Run is invoked once per module package.
+type Analyzer struct {
+	// Name is the rule identifier used in findings and suppression comments.
+	Name string
+	// Doc is a one-line description of the contract the analyzer enforces.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Analyzers returns the full hyfdvet analyzer suite, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		CtxflowAnalyzer,
+		HooksafeAnalyzer,
+		GoroutineAnalyzer,
+		BitsetAliasAnalyzer,
+	}
+}
+
+// Run executes the analyzers over every package of the program, filters
+// findings through //hyfdvet:allow suppressions, and returns the survivors
+// sorted by file, line, and rule.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, az := range analyzers {
+		for _, pkg := range prog.Pkgs {
+			pass := &Pass{Prog: prog, Pkg: pkg, analyzer: az, findings: &findings}
+			az.Run(pass)
+		}
+	}
+	sup := collectSuppressions(prog)
+	kept := findings[:0]
+	for _, f := range findings {
+		if !sup.allows(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return kept
+}
+
+// allowPrefix introduces a suppression comment.
+const allowPrefix = "//hyfdvet:allow"
+
+// suppressions maps file → line → set of allowed rules on that line.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans every comment of every module file for
+// //hyfdvet:allow markers.
+func collectSuppressions(prog *Program) suppressions {
+	sup := suppressions{}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rule, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					lines := sup[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						sup[pos.Filename] = lines
+					}
+					if lines[pos.Line] == nil {
+						lines[pos.Line] = map[string]bool{}
+					}
+					lines[pos.Line][rule] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// parseAllow extracts the rule name from an //hyfdvet:allow comment.
+func parseAllow(text string) (rule string, ok bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	if rest == "" {
+		return "", false
+	}
+	// The rule name ends at the first space; anything after it is the
+	// justification.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, true
+}
+
+// allows reports whether a suppression on the finding's line (or the line
+// directly above it) names the finding's rule.
+func (s suppressions) allows(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Pos.Line][f.Rule] || lines[f.Pos.Line-1][f.Rule]
+}

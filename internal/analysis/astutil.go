@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// inspectWithStack walks every file of the package, calling fn with each
+// node and the stack of its ancestors (outermost first, not including the
+// node itself). Returning false from fn prunes the subtree.
+func inspectWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions, and
+// anonymous function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named function of the given package
+// path (e.g. "time".Now).
+func isPkgFunc(obj *types.Func, pkgPath, name string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isPkgCall reports whether the call invokes pkgPath.name.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	return isPkgFunc(calleeFunc(info, call), pkgPath, name)
+}
+
+// namedType returns the named type (and its package path) behind t,
+// unwrapping one level of pointer and any alias.
+func namedType(t types.Type) (*types.Named, string) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	return named, named.Obj().Pkg().Path()
+}
+
+// isNamed reports whether t is (a pointer to) the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, path := namedType(t)
+	return named != nil && path == pkgPath && named.Obj().Name() == name
+}
+
+// hasContextParam reports whether the signature takes a context.Context
+// parameter (at any position).
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// exprPath renders an identifier / selector chain ("v.inst.Validations") for
+// structural comparison; any other expression form yields "" (not
+// comparable).
+func exprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// hasPathPrefix reports whether the import path is pkg or lies beneath it.
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BitsetAliasAnalyzer enforces the bitset mutation discipline: bitset.Set is
+// a value type over a shared []uint64 backing array, so mutating methods
+// (Set, Clear) called on a temporary either silently discard the write
+// (fresh result of Clone/With/New) or silently mutate state shared with
+// someone else (a set fetched out of a map or returned by an accessor).
+// Both are aliasing hazards: mutations must go through a named variable
+// whose ownership is locally evident.
+var BitsetAliasAnalyzer = &Analyzer{
+	Name: "bitsetalias",
+	Doc:  "mutating bitset methods must not be called on call results or map elements",
+	Run:  runBitsetAlias,
+}
+
+// bitsetMutators are the methods of bitset.Set that write the backing array
+// in place.
+var bitsetMutators = map[string]bool{
+	"Set":   true,
+	"Clear": true,
+}
+
+func runBitsetAlias(pass *Pass) {
+	if _, ok := relModulePath(pass.Prog, pass.Pkg.Path); !ok {
+		return
+	}
+	bitsetPath := pass.Prog.ModulePath + "/internal/bitset"
+	if pass.Pkg.Path == bitsetPath {
+		return // the implementation package manipulates words directly
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !bitsetMutators[sel.Sel.Name] {
+				return true
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal || !isNamed(selection.Recv(), bitsetPath, "Set") {
+				return true
+			}
+			if origin, hazard := aliasHazard(info, sel.X); hazard {
+				pass.Reportf(call.Pos(), "%s on a bitset obtained from %s; bind it to a variable first — the mutation aliases (or discards) shared words",
+					sel.Sel.Name, origin)
+			}
+			return true
+		})
+	}
+}
+
+// aliasHazard walks the receiver expression toward its root and reports
+// whether it flows from a function call or a map element.
+func aliasHazard(info *types.Info, e ast.Expr) (origin string, hazard bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return "a function result", true
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return "a map element", true
+				}
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// corpusDir is the miniature module under testdata that seeds one violation
+// (and one clean counterpart) per analyzer.
+const corpusDir = "testdata/src"
+
+var (
+	corpusOnce sync.Once
+	corpusProg *Program
+	corpusErr  error
+)
+
+// loadCorpus loads and type-checks the corpus module once per test binary.
+func loadCorpus(t *testing.T) *Program {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpusProg, corpusErr = LoadModule(corpusDir)
+	})
+	if corpusErr != nil {
+		t.Fatalf("loading corpus: %v", corpusErr)
+	}
+	return corpusProg
+}
+
+// wantRe matches the expectation list of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`// want ("[^"]*"(?:\s+"[^"]*")*)`)
+
+// quoteRe extracts the individual quoted expectations.
+var quoteRe = regexp.MustCompile(`"([^"]*)"`)
+
+// corpusExpectations parses every // want comment of the corpus into a map
+// from absolute file path to line to expected "rule: message" substrings.
+func corpusExpectations(t *testing.T) map[string]map[int][]string {
+	t.Helper()
+	root, err := filepath.Abs(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]map[int][]string{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quoteRe.FindAllStringSubmatch(m[1], -1) {
+				if wants[path] == nil {
+					wants[path] = map[int][]string{}
+				}
+				wants[path][i+1] = append(wants[path][i+1], q[1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestCorpusFindings runs the full analyzer suite over the corpus and checks
+// the findings against the // want expectations: every expectation must be
+// matched by a finding on its line, and every finding must be expected.
+func TestCorpusFindings(t *testing.T) {
+	prog := loadCorpus(t)
+	findings := Run(prog, Analyzers())
+	if len(findings) == 0 {
+		t.Fatal("corpus produced no findings")
+	}
+	wants := corpusExpectations(t)
+
+	// Every finding must match one of its line's expectations.
+	for _, f := range findings {
+		rendered := f.Rule + ": " + f.Msg
+		matched := false
+		for _, w := range wants[f.Pos.Filename][f.Pos.Line] {
+			if strings.Contains(rendered, w) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+
+	// Every expectation must match one of its line's findings.
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				matched := false
+				for _, f := range findings {
+					if f.Pos.Filename == file && f.Pos.Line == line &&
+						strings.Contains(f.Rule+": "+f.Msg, w) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("%s:%d: expected finding matching %q, got none", file, line, w)
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusSuppression pins the //hyfdvet:allow path end to end: the
+// determinism analyzer does report the suppressed time.Now call when run
+// raw, and Run's suppression filter drops exactly that finding.
+func TestCorpusSuppression(t *testing.T) {
+	prog := loadCorpus(t)
+	pliFile, allowLine := corpusAllowSite(t)
+
+	var raw []Finding
+	for _, pkg := range prog.Pkgs {
+		pass := &Pass{Prog: prog, Pkg: pkg, analyzer: DeterminismAnalyzer, findings: &raw}
+		DeterminismAnalyzer.Run(pass)
+	}
+	foundRaw := false
+	for _, f := range raw {
+		if f.Pos.Filename == pliFile && f.Pos.Line == allowLine+1 {
+			foundRaw = true
+		}
+	}
+	if !foundRaw {
+		t.Fatalf("determinism analyzer reported nothing at %s:%d (below the allow comment)", pliFile, allowLine+1)
+	}
+
+	for _, f := range Run(prog, Analyzers()) {
+		if f.Pos.Filename == pliFile && f.Pos.Line == allowLine+1 {
+			t.Errorf("suppressed finding survived: %s", f)
+		}
+	}
+}
+
+// corpusAllowSite locates the //hyfdvet:allow comment in the corpus pli
+// fixture and returns the file's absolute path and the comment's line.
+func corpusAllowSite(t *testing.T) (string, int) {
+	t.Helper()
+	path, err := filepath.Abs(filepath.Join(corpusDir, "internal", "pli", "pli.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, allowPrefix+" determinism") {
+			return path, i + 1
+		}
+	}
+	t.Fatalf("no %s determinism comment in %s", allowPrefix, path)
+	return "", 0
+}
+
+// TestParseAllow pins the suppression comment grammar.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		rule string
+		ok   bool
+	}{
+		{"//hyfdvet:allow determinism — reason", "determinism", true},
+		{"//hyfdvet:allow ctxflow", "ctxflow", true},
+		{"//hyfdvet:allow  hooksafe \t tab-separated reason", "hooksafe", true},
+		{"//hyfdvet:allow", "", false},
+		{"// hyfdvet:allow determinism", "", false},
+		{"//nolint:errcheck", "", false},
+	}
+	for _, c := range cases {
+		rule, ok := parseAllow(c.text)
+		if rule != c.rule || ok != c.ok {
+			t.Errorf("parseAllow(%q) = %q, %v; want %q, %v", c.text, rule, ok, c.rule, c.ok)
+		}
+	}
+}
+
+// TestAnalyzerSuite pins the suite's membership and stable order: rule names
+// appear in findings and suppressions, so renames are breaking changes.
+func TestAnalyzerSuite(t *testing.T) {
+	want := []string{"determinism", "ctxflow", "hooksafe", "goroutine", "bitsetalias"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, az := range got {
+		if az.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, az.Name, want[i])
+		}
+		if az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %q lacks doc or run function", az.Name)
+		}
+	}
+}

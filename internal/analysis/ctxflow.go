@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxflowAnalyzer enforces the context-propagation contract (DESIGN §2a):
+//
+//   - context.Background() / context.TODO() are banned outside cmd/,
+//     examples/, and test code — library code must thread the caller's
+//     context, never mint its own root.
+//   - In internal/core and the baseline packages (internal/algorithms/...),
+//     an exported function that receives a context.Context must forward it:
+//     every call it makes to a context-accepting callee must pass a
+//     context-typed argument that is not a fresh Background/TODO and not a
+//     nil literal.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "require context propagation; ban context.Background/TODO outside cmd and tests",
+	Run:  runCtxflow,
+}
+
+// ctxRootExempt reports whether the package may create root contexts:
+// binaries (cmd/, examples/) own the process entry point, and test helper
+// packages are test code in non-_test.go clothing.
+func ctxRootExempt(prog *Program, pkg *Package) bool {
+	rel, ok := relModulePath(prog, pkg.Path)
+	if !ok {
+		return true
+	}
+	return hasPathPrefix(rel, "cmd") || hasPathPrefix(rel, "examples") || testHelperPkgs[rel]
+}
+
+// ctxForwardScope reports whether the package is subject to the mandatory
+// forwarding rule.
+func ctxForwardScope(prog *Program, pkg *Package) bool {
+	rel, ok := relModulePath(prog, pkg.Path)
+	if !ok || testHelperPkgs[rel] {
+		return false
+	}
+	return hasPathPrefix(rel, "internal/core") || hasPathPrefix(rel, "internal/algorithms")
+}
+
+func runCtxflow(pass *Pass) {
+	rootExempt := ctxRootExempt(pass.Prog, pass.Pkg)
+	forward := ctxForwardScope(pass.Prog, pass.Pkg)
+	if rootExempt && !forward {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			mustForward := forward && fd.Name.IsExported() && declHasContextParam(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !rootExempt && isContextRootCall(info, call) {
+					fn := calleeFunc(info, call)
+					pass.Reportf(call.Pos(), "context.%s() outside cmd/ and tests; accept and propagate the caller's context instead", fn.Name())
+				}
+				if mustForward {
+					checkForwarding(pass, info, fd, call)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// declHasContextParam reports whether the function declaration takes a
+// context.Context parameter.
+func declHasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	return hasContextParam(obj.Type().(*types.Signature))
+}
+
+// isContextRootCall reports whether the call is context.Background() or
+// context.TODO().
+func isContextRootCall(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgCall(info, call, "context", "Background") || isPkgCall(info, call, "context", "TODO")
+}
+
+// checkForwarding verifies that a call made inside a context-receiving
+// exported function hands a real context to any callee that accepts one.
+func checkForwarding(pass *Pass, info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr) {
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if callee.Pkg().Path() == "context" {
+		return // context constructors (WithCancel etc.) are how contexts derive
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || !hasContextParam(sig) {
+		return
+	}
+	forwarded := false
+	for _, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok && isContextRootCall(info, inner) {
+			pass.Reportf(arg.Pos(), "%s receives a context but passes a fresh context.%s to %s; forward the caller's context",
+				fd.Name.Name, calleeFunc(info, inner).Name(), callee.Name())
+			return
+		}
+		forwarded = true
+	}
+	if !forwarded {
+		// Covers both a nil literal in the context slot and variadic calls
+		// that never supply one.
+		pass.Reportf(call.Pos(), "%s receives a context but calls %s without forwarding it",
+			fd.Name.Name, callee.Name())
+	}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismScopes lists the module-relative package prefixes whose
+// non-test code must be bit-for-bit deterministic: the engine proper and
+// every baseline algorithm. Telemetry-only exceptions are annotated at the
+// call site with //hyfdvet:allow determinism and a justification.
+var determinismScopes = []string{
+	"internal/pli",
+	"internal/relation",
+	"internal/sampler",
+	"internal/inductor",
+	"internal/validator",
+	"internal/fdtree",
+	"internal/core",
+	"internal/algorithms",
+}
+
+// testHelperPkgs are module-relative packages that exist purely to support
+// _test.go files (shared fixtures and conformance harnesses). They are
+// treated as test code by the analyzers that exempt tests.
+var testHelperPkgs = map[string]bool{
+	"internal/algorithms/algotest": true,
+}
+
+// relModulePath strips the module prefix from an import path; ok is false
+// for packages outside the module.
+func relModulePath(prog *Program, path string) (string, bool) {
+	if path == prog.ModulePath {
+		return "", true
+	}
+	if hasPathPrefix(path, prog.ModulePath) {
+		return path[len(prog.ModulePath)+1:], true
+	}
+	return "", false
+}
+
+// inDeterminismScope reports whether the package is covered by the
+// determinism contract.
+func inDeterminismScope(prog *Program, pkg *Package) bool {
+	rel, ok := relModulePath(prog, pkg.Path)
+	if !ok || testHelperPkgs[rel] {
+		return false
+	}
+	for _, scope := range determinismScopes {
+		if hasPathPrefix(rel, scope) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterminismAnalyzer enforces the engine's determinism contract (DESIGN §2c):
+// within the engine and baseline packages, non-test code must not read the
+// wall clock (time.Now, time.Since), draw randomness (math/rand,
+// math/rand/v2), or consult the environment (os.Getenv and friends) — any of
+// these could leak into the discovered FD set or the observation order. It
+// also flags `for range` over a map whose body appends to a slice or emits
+// output with no sort anywhere after the loop in the same function: map
+// iteration order is randomized per run, so such loops produce
+// run-dependent orderings.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "ban wall-clock, randomness, env reads, and unsorted map-range output in engine packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !inDeterminismScope(pass.Prog, pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	inspectWithStack(pass.Pkg.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNondeterministicCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, info, n, stack)
+		}
+		return true
+	})
+}
+
+// bannedFuncs maps package path → banned function names; an empty set bans
+// every function of the package.
+var bannedFuncs = map[string]map[string]bool{
+	"time":         {"Now": true, "Since": true, "Until": true},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+	"os":           {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+func checkNondeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	names, banned := bannedFuncs[fn.Pkg().Path()]
+	if !banned || (names != nil && !names[fn.Name()]) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s.%s in a determinism-scoped package; results must not depend on clock, randomness, or environment",
+		fn.Pkg().Path(), fn.Name())
+}
+
+// checkMapRange flags map-iteration loops whose body accumulates into a
+// slice or writes output, unless a sort call follows the loop in the same
+// function (the standard collect-then-sort idiom).
+func checkMapRange(pass *Pass, info *types.Info, rng *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var hazard string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || hazard != "" {
+			return hazard == ""
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				hazard = "appends to a slice"
+				return false
+			}
+		}
+		if fn := calleeFunc(info, call); fn != nil && isOutputFunc(fn) {
+			hazard = "emits output"
+			return false
+		}
+		return true
+	})
+	if hazard == "" {
+		return
+	}
+	body := enclosingFuncBody(stack)
+	if body != nil && hasSortAfter(info, body, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "range over map %s and no sort follows in this function; map order is randomized per run", hazard)
+}
+
+// isOutputFunc reports whether fn writes to an output sink (fmt printing or
+// io writes).
+func isOutputFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return true
+		}
+	}
+	return fn.Name() == "Write" && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// hasSortAfter reports whether any sort.* / slices.Sort* call appears after
+// the range statement inside the function body.
+func hasSortAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return !found
+		}
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort":
+				found = true
+			case "slices":
+				if len(fn.Name()) >= 4 && fn.Name()[:4] == "Sort" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineAnalyzer enforces goroutine hygiene in internal/ packages: the
+// engine promises deterministic output at every thread count and a fully
+// joined shutdown (no goroutine outlives its spawning function), so every
+// `go` statement must
+//
+//  1. capture loop variables explicitly (pass them as arguments instead of
+//     closing over a `for`/`range` variable), and
+//  2. be paired with a join — a sync.WaitGroup.Wait, a channel receive, a
+//     range over a channel, or a select — in the same function.
+var GoroutineAnalyzer = &Analyzer{
+	Name: "goroutine",
+	Doc:  "go statements in internal/ must capture loop variables explicitly and join in the same function",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(pass *Pass) {
+	rel, ok := relModulePath(pass.Prog, pass.Pkg.Path)
+	if !ok || !hasPathPrefix(rel, "internal") || testHelperPkgs[rel] {
+		return
+	}
+	info := pass.Pkg.Info
+	inspectWithStack(pass.Pkg.Files, func(n ast.Node, stack []ast.Node) bool {
+		goStmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		checkLoopCapture(pass, info, goStmt, stack)
+		checkJoin(pass, info, goStmt, stack)
+		return true
+	})
+}
+
+// checkLoopCapture flags goroutines whose function literal closes over a
+// variable declared by an enclosing for/range statement of the same
+// function instead of receiving it as an argument.
+func checkLoopCapture(pass *Pass, info *types.Info, goStmt *ast.GoStmt, stack []ast.Node) {
+	fn, ok := goStmt.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	loopVars := enclosingLoopVars(info, stack)
+	if len(loopVars) == 0 {
+		return
+	}
+	// Arguments are evaluated at spawn time, so loop variables appearing
+	// there are captured correctly — only free references inside the body
+	// are hazards.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, found := loopVars[obj]; found {
+			pass.Reportf(id.Pos(), "goroutine closes over loop variable %s; pass it as an argument to the goroutine's function", v)
+			delete(loopVars, obj) // one finding per variable
+		}
+		return true
+	})
+}
+
+// enclosingLoopVars collects the variables declared by for/range statements
+// on the stack, up to (not past) the innermost enclosing function.
+func enclosingLoopVars(info *types.Info, stack []ast.Node) map[types.Object]string {
+	vars := map[types.Object]string{}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return vars
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.Defs[id]; obj != nil {
+						vars[obj] = id.Name
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if assign, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, e := range assign.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.Defs[id]; obj != nil {
+							vars[obj] = id.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// checkJoin flags goroutines whose spawning function contains no join
+// construct at all.
+func checkJoin(pass *Pass, info *types.Info, goStmt *ast.GoStmt, stack []ast.Node) {
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return
+	}
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		if n == goStmt.Call.Fun {
+			return false // a join inside the spawned goroutine doesn't count
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.SelectStmt:
+			joined = true
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if selection, ok := info.Selections[sel]; ok && isNamed(selection.Recv(), "sync", "WaitGroup") {
+					joined = true
+				}
+			}
+		}
+		return !joined
+	})
+	if !joined {
+		pass.Reportf(goStmt.Pos(), "go statement with no WaitGroup.Wait, channel receive, or select join in the same function; the goroutine may outlive its spawner")
+	}
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HooksafeAnalyzer enforces the nil-safe observability contract (DESIGN
+// §2a/§2b): observer and metrics hooks are optional, so every call through
+// them must be provably safe against a nil hook. Concretely:
+//
+//   - A method call on a trace.Observer value must be dominated by a
+//     `recv != nil` check in the same function, or live in a package on the
+//     structural allowlist (internal/trace itself, whose Emit/Multi
+//     construction guarantees non-nil receivers).
+//   - A method call on a metrics instrument (*metrics.Counter, *Gauge,
+//     *Histogram) is safe iff the method's declaration begins with a nil
+//     receiver guard — verified structurally from the metrics package
+//     sources — or the call is nil-checked / allowlisted as above.
+var HooksafeAnalyzer = &Analyzer{
+	Name: "hooksafe",
+	Doc:  "observer and metrics hook calls must be nil-safe",
+	Run:  runHooksafe,
+}
+
+// hooksafeAllowlist names module-relative packages whose constructors and
+// helpers structurally guarantee non-nil hook receivers.
+var hooksafeAllowlist = map[string]bool{
+	// trace.Emit nil-checks before calling, and trace.Multi filters nil
+	// observers out before constructing a fan-out receiver.
+	"internal/trace": true,
+	// The metrics package is the instruments' own implementation: the
+	// Registry and NewEngineMetrics constructors guarantee non-nil
+	// instruments, and the remaining methods are nil-receiver-guarded.
+	"internal/metrics": true,
+}
+
+// instrumentTypes are the nil-safe instrument families of internal/metrics.
+var instrumentTypes = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func runHooksafe(pass *Pass) {
+	rel, inModule := relModulePath(pass.Prog, pass.Pkg.Path)
+	if !inModule || hooksafeAllowlist[rel] {
+		return
+	}
+	metricsPath := pass.Prog.ModulePath + "/internal/metrics"
+	tracePath := pass.Prog.ModulePath + "/internal/trace"
+	guarded := nilGuardedMethods(pass.Prog.Package(metricsPath))
+	info := pass.Pkg.Info
+	inspectWithStack(pass.Pkg.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true // qualified call pkg.Func, not a method
+		}
+		recvType := selection.Recv()
+		switch {
+		case isNamed(recvType, tracePath, "Observer"):
+			if !nilCheckDominates(info, sel.X, call, stack) {
+				pass.Reportf(call.Pos(), "call to %s on a trace.Observer without a dominating nil check; use trace.Emit or guard with `if obs != nil`",
+					sel.Sel.Name)
+			}
+		case isMetricsInstrument(recvType, metricsPath):
+			if guarded[methodKey(selection)] {
+				return true // the method itself is nil-receiver-safe
+			}
+			if !nilCheckDominates(info, sel.X, call, stack) {
+				pass.Reportf(call.Pos(), "call to %s on a metrics instrument whose method is not nil-receiver-guarded and no nil check dominates",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isMetricsInstrument reports whether t is (a pointer to) one of the metrics
+// instrument families.
+func isMetricsInstrument(t types.Type, metricsPath string) bool {
+	named, path := namedType(t)
+	return named != nil && path == metricsPath && instrumentTypes[named.Obj().Name()]
+}
+
+// methodKey identifies a method as Type.Name.
+func methodKey(sel *types.Selection) string {
+	named, _ := namedType(sel.Recv())
+	if named == nil {
+		return ""
+	}
+	return named.Obj().Name() + "." + sel.Obj().Name()
+}
+
+// nilGuardedMethods scans the metrics package for pointer-receiver methods
+// whose body begins with a nil receiver guard — either
+//
+//	if recv == nil { return ... }
+//
+// as the first statement, or a body entirely wrapped in `if recv != nil`.
+// Calls to such methods are nil-safe by construction.
+func nilGuardedMethods(metrics *Package) map[string]bool {
+	guarded := map[string]bool{}
+	if metrics == nil {
+		return guarded
+	}
+	for _, file := range metrics.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvNames := fd.Recv.List[0].Names
+			if len(recvNames) == 0 {
+				continue
+			}
+			recv := recvNames[0].Name
+			recvType := recvTypeName(fd.Recv.List[0].Type)
+			if recvType == "" || !bodyNilGuarded(fd.Body, recv) {
+				continue
+			}
+			guarded[recvType+"."+fd.Name.Name] = true
+		}
+	}
+	return guarded
+}
+
+// recvTypeName extracts the receiver's base type name from *T or T.
+func recvTypeName(expr ast.Expr) string {
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// bodyNilGuarded reports whether the method body's first statement guards
+// against a nil receiver.
+func bodyNilGuarded(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return true // empty body: trivially nil-safe
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	// `if recv != nil && ... { ...work... }` wrapping the whole body.
+	if condChecksNotNil(ifStmt.Cond, recv) && len(body.List) == 1 {
+		return true
+	}
+	// `if recv == nil { return ... }` followed by the real work: the guard
+	// body must exit.
+	if op, lhs := nilComparison(ifStmt.Cond); op == "==" && lhs == recv {
+		return endsInReturn(ifStmt.Body)
+	}
+	return false
+}
+
+// nilComparison decomposes a `x == nil` / `x != nil` condition, returning
+// the operator and x's expression path.
+func nilComparison(cond ast.Expr) (op, path string) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return "", ""
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(y) {
+		return bin.Op.String(), exprPath(x)
+	}
+	if isNilIdent(x) {
+		return bin.Op.String(), exprPath(y)
+	}
+	return "", ""
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// endsInReturn reports whether the block's last statement terminates the
+// function (return or panic).
+func endsInReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// nilCheckDominates reports whether the call site sits inside the body of an
+// `if X != nil` (possibly `cond && ...`) whose X matches the receiver
+// expression, including the `if x := f(); x != nil` form.
+func nilCheckDominates(info *types.Info, recv ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+	recvPath := exprPath(recv)
+	if recvPath == "" {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // don't credit guards from an outer function
+		case *ast.IfStmt:
+			// The guard only protects the then-branch.
+			if !nodeWithin(call, anc.Body) {
+				continue
+			}
+			if condChecksNotNil(anc.Cond, recvPath) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condChecksNotNil reports whether cond (possibly an && conjunction)
+// contains `recvPath != nil`.
+func condChecksNotNil(cond ast.Expr, recvPath string) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if bin.Op.String() == "&&" {
+		return condChecksNotNil(bin.X, recvPath) || condChecksNotNil(bin.Y, recvPath)
+	}
+	op, path := nilComparison(cond)
+	return op == "!=" && path == recvPath
+}
+
+// nodeWithin reports whether n's position range lies inside container's.
+func nodeWithin(n, container ast.Node) bool {
+	return container != nil && container.Pos() <= n.Pos() && n.End() <= container.End()
+}

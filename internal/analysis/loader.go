@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadModule locates the Go module containing dir (by walking up to the
+// nearest go.mod), parses every non-test package under the module root, and
+// type-checks the packages in dependency order. Module-internal imports
+// resolve against the freshly checked packages; all other imports resolve
+// through the stdlib source importer, so the loader needs no compiled export
+// data and no tooling beyond the standard library.
+//
+// Tags selects the build configuration: files whose //go:build constraint
+// is false under the default configuration (GOOS, GOARCH, the toolchain's
+// go1.N release tags, plus any extra tags given) are skipped, mirroring
+// what `go build` would compile.
+func LoadModule(dir string, tags ...string) (*Program, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, ModulePath: modPath, byPath: map[string]*Package{}}
+	for _, d := range dirs {
+		pkg, err := parseDir(fset, root, modPath, d, tags)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable non-test files
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.byPath[pkg.Path] = pkg
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	if err := typecheck(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the module
+// root directory and declared module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// packageDirs lists every directory under root that may hold a package,
+// skipping testdata, vendor, hidden, and underscore-prefixed directories —
+// the same pruning the go tool applies.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the buildable non-test files of one directory into a
+// Package (without type information). It returns nil if the directory holds
+// no such files.
+func parseDir(fset *token.FileSet, root, modPath, dir string, tags []string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if !buildable(src, tags) {
+			continue
+		}
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, file)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: importPath, Dir: dir, Files: files}, nil
+}
+
+// buildable evaluates the file's //go:build constraint (if any) under the
+// default build configuration plus the extra tags.
+func buildable(src []byte, tags []string) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if constraint.IsGoBuild(line) {
+				expr, err := constraint.Parse(line)
+				if err != nil {
+					return true // malformed constraints fail loudly at type-check
+				}
+				return expr.Eval(func(tag string) bool { return tagEnabled(tag, tags) })
+			}
+			continue
+		}
+		break // reached the package clause: no constraint
+	}
+	return true
+}
+
+// tagEnabled reports whether a build tag is set in the default configuration
+// extended with extra tags.
+func tagEnabled(tag string, extra []string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "unix" && isUnix() {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		if minor, err := strconv.Atoi(rest); err == nil {
+			return minor <= toolchainMinor()
+		}
+	}
+	for _, t := range extra {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func isUnix() bool {
+	switch runtime.GOOS {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "aix":
+		return true
+	}
+	return false
+}
+
+// toolchainMinor extracts N from the running toolchain's go1.N version.
+func toolchainMinor() int {
+	v := strings.TrimPrefix(runtime.Version(), "go1.")
+	if i := strings.IndexByte(v, '.'); i >= 0 {
+		v = v[:i]
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 99 // devel toolchains: treat every release tag as satisfied
+	}
+	return n
+}
+
+// chainImporter resolves module-internal imports against the already
+// type-checked program packages and everything else through the stdlib
+// source importer.
+type chainImporter struct {
+	prog     *Program
+	fallback types.ImporterFrom
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, "", 0)
+}
+
+func (ci *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg := ci.prog.Package(path); pkg != nil {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("internal error: import cycle or unchecked package %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return ci.fallback.ImportFrom(path, dir, mode)
+}
+
+// typecheck type-checks the program's packages in topological import order.
+func typecheck(prog *Program) error {
+	order, err := topoOrder(prog)
+	if err != nil {
+		return err
+	}
+	src, ok := importer.ForCompiler(prog.Fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return fmt.Errorf("internal error: source importer is not an ImporterFrom")
+	}
+	imp := &chainImporter{prog: prog, fallback: src}
+	for _, pkg := range order {
+		cfg := types.Config{Importer: imp}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		tpkg, err := cfg.Check(pkg.Path, prog.Fset, pkg.Files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+	}
+	return nil
+}
+
+// topoOrder sorts the module packages so every package follows its
+// module-internal imports.
+func topoOrder(prog *Program) ([]*Package, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[string]int{}
+	var order []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", p.Path)
+		}
+		state[p.Path] = visiting
+		for _, file := range p.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep := prog.Package(path); dep != nil {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p.Path] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range prog.Pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

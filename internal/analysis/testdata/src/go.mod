@@ -1,0 +1,3 @@
+module hyfd
+
+go 1.22

@@ -1,0 +1,35 @@
+// Package core seeds ctxflow violations: internal/core is inside the
+// mandatory-forwarding scope, and no internal package may mint root
+// contexts.
+package core
+
+import "context"
+
+// helper accepts a context, so context-receiving exported callers must
+// forward theirs.
+func helper(ctx context.Context, n int) int {
+	if ctx != nil && ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Fresh mints a root context inside library code.
+func Fresh() context.Context {
+	return context.Background() // want "ctxflow: context.Background() outside cmd/ and tests"
+}
+
+// Run receives a context but hands the callee a fresh root instead.
+func Run(ctx context.Context, n int) int {
+	return helper(context.Background(), n) // want "ctxflow: context.Background() outside cmd/ and tests" "ctxflow: Run receives a context but passes a fresh context.Background to helper"
+}
+
+// Drop receives a context but never forwards one.
+func Drop(ctx context.Context, n int) int {
+	return helper(nil, n) // want "ctxflow: Drop receives a context but calls helper without forwarding it"
+}
+
+// Forward threads the caller's context: no finding.
+func Forward(ctx context.Context, n int) int {
+	return helper(ctx, n)
+}

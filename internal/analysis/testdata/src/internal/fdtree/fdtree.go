@@ -1,0 +1,18 @@
+// Package fdtree seeds bitsetalias violations: mutating bitset methods on
+// values flowing from map elements or function results alias (or discard)
+// shared backing words.
+package fdtree
+
+import "hyfd/internal/bitset"
+
+// covers maps attribute names to candidate sets.
+type covers map[string]bitset.Set
+
+// Mutate writes through aliasing temporaries.
+func Mutate(c covers, fresh func() bitset.Set) {
+	c["a"].Set(1)    // want "bitsetalias: Set on a bitset obtained from a map element"
+	fresh().Clear(2) // want "bitsetalias: Clear on a bitset obtained from a function result"
+	s := fresh()
+	s.Set(3)
+	s.Clear(1)
+}

@@ -1,0 +1,26 @@
+// Package metrics is a corpus stub of the real metrics package: one
+// instrument family mixing nil-receiver-guarded and unguarded methods, from
+// which the hooksafe analyzer derives its structural safety facts.
+package metrics
+
+// Counter is a monotonic instrument; a nil *Counter is a recording no-op
+// for the guarded methods only.
+type Counter struct{ n int64 }
+
+// Add is guarded with the early-return idiom.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n += delta
+}
+
+// Inc is guarded with the wrapping idiom.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Reset is deliberately unguarded: callers must nil-check.
+func (c *Counter) Reset() { c.n = 0 }

@@ -1,0 +1,30 @@
+// Package sampler seeds goroutine-hygiene violations: every go statement in
+// internal/ must capture loop variables explicitly and join in the same
+// function.
+package sampler
+
+import "sync"
+
+func process(n int) { _ = n }
+
+// SpawnLeak closes over the loop variable and never joins.
+func SpawnLeak(items []int) {
+	for _, it := range items {
+		go func() { // want "goroutine: go statement with no WaitGroup.Wait"
+			process(it) // want "goroutine: goroutine closes over loop variable it"
+		}()
+	}
+}
+
+// SpawnJoined passes the loop variable as an argument and waits: no finding.
+func SpawnJoined(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			process(v)
+		}(it)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,19 @@
+// Package trace is a corpus stub of the real trace package: the optional
+// observer hook and its nil-safe emission helper. The package is on the
+// hooksafe structural allowlist, so its own Observe call reports nothing.
+package trace
+
+// Event is one engine observation.
+type Event struct{ Name string }
+
+// Observer receives engine events; a nil Observer means tracing is off.
+type Observer interface {
+	Observe(Event)
+}
+
+// Emit delivers e to o when o is non-nil.
+func Emit(o Observer, e Event) {
+	if o != nil {
+		o.Observe(e)
+	}
+}

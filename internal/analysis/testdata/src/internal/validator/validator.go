@@ -1,0 +1,33 @@
+// Package validator seeds hooksafe violations: observer and metrics hook
+// calls outside the structural allowlist must be provably nil-safe.
+package validator
+
+import (
+	"hyfd/internal/metrics"
+	"hyfd/internal/trace"
+)
+
+// V bundles optional observability hooks.
+type V struct {
+	obs   trace.Observer
+	count *metrics.Counter
+}
+
+// Bad calls hooks without nil protection.
+func (v *V) Bad(e trace.Event) {
+	v.obs.Observe(e) // want "hooksafe: call to Observe on a trace.Observer without a dominating nil check"
+	v.count.Reset()  // want "hooksafe: call to Reset on a metrics instrument"
+}
+
+// Good nil-checks the observer and the unguarded method, and calls the
+// guarded instrument methods freely: no finding.
+func (v *V) Good(e trace.Event) {
+	if v.obs != nil {
+		v.obs.Observe(e)
+	}
+	v.count.Add(1)
+	v.count.Inc()
+	if v.count != nil {
+		v.count.Reset()
+	}
+}

@@ -143,6 +143,7 @@ func (t statsTimers) Observe(e trace.Event) {
 // context.Background().
 func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set, *Stats, error) {
 	if ctx == nil {
+		//hyfdvet:allow ctxflow — documented nil-ctx defaulting at the engine's public boundary
 		ctx = context.Background()
 	}
 	if rel == nil {
@@ -162,6 +163,7 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 	}
 	em := metrics.NewEngineMetrics(cfg.Metrics) // nil registry → nil, all hooks no-ops
 	obs := trace.Multi(statsTimers{stats}, em.Observer(), cfg.Observer)
+	//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, interrupted(err)
@@ -191,6 +193,7 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 		ix.ForEachClusterSize(func(size int) { em.PLIClusterSize.Observe(float64(size)) })
 	}
 	trace.Emit(obs, trace.PreprocessingDone{
+		//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 		Rows: stats.Rows, Cols: stats.Cols, Threads: threads, Duration: time.Since(start),
 	})
 
@@ -235,6 +238,7 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 	var suggestions []pli.Pair
 	for {
 		// Phase 1: focused sampling + induction.
+		//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 		roundStart := time.Now()
 		newObs, err := smp.Run(ctx, suggestions)
 		if err != nil {
@@ -248,7 +252,8 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 			NewObservations: len(newObs),
 			Comparisons:     smp.Comparisons,
 			Threshold:       smp.Threshold(),
-			Duration:        time.Since(roundStart),
+			//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
+			Duration: time.Since(roundStart),
 		})
 		trace.Emit(obs, trace.PhaseSwitch{
 			From: trace.PhaseSampling, To: trace.PhaseValidation,
@@ -287,6 +292,7 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 	}
 	fds := ind.Tree().FDs()
 	stats.FDCount = fds.Size()
+	//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 	trace.Emit(obs, trace.Done{FDs: stats.FDCount, Duration: time.Since(start)})
 	return fds, stats, nil
 }

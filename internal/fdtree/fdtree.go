@@ -10,11 +10,18 @@ package fdtree
 import (
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
+	"hyfd/internal/invariant"
 )
 
 type node struct {
 	// children[a] descends to LHSs extending this node's path by attribute
 	// a; nil until needed. Paths visit attributes in ascending order.
+	//
+	// Determinism audit: children is a dense slice indexed by attribute, so
+	// every for-range over it below (isLeaf, recomputeRhsAttrs, Children,
+	// collectLevel, prune, collectFDs, ...) visits attributes in ascending
+	// order — traversal output is deterministic without sorting, and no map
+	// iteration occurs anywhere in this package.
 	children []*node
 	// rhsFds marks attributes A such that path → A is an FD in the tree.
 	rhsFds bitset.Set
@@ -90,6 +97,9 @@ func (t *Tree) Add(lhs bitset.Set, rhs int) bool {
 		return false
 	}
 	n.rhsFds.Set(rhs)
+	if invariant.Enabled {
+		t.assertPathMarked(lhs, rhs)
+	}
 	return true
 }
 
@@ -158,7 +168,11 @@ func (t *Tree) collectGenerals(n *node, lhs bitset.Set, rhs int, from int, path 
 // FD and repairing the rhsAttrs summaries along the path. It reports
 // whether the FD was present.
 func (t *Tree) Remove(lhs bitset.Set, rhs int) bool {
-	return t.remove(t.root, lhs, 0, rhs)
+	removed := t.remove(t.root, lhs, 0, rhs)
+	if invariant.Enabled && removed {
+		t.assertConsistent("Remove")
+	}
+	return removed
 }
 
 func (t *Tree) remove(n *node, lhs bitset.Set, from int, rhs int) bool {
@@ -284,6 +298,9 @@ func (t *Tree) SetMaxLhs(maxLhs int) {
 	t.maxLhs = maxLhs
 	if shrink {
 		t.prune(t.root, 0)
+		if invariant.Enabled {
+			t.assertConsistent("SetMaxLhs")
+		}
 	}
 }
 

@@ -1,0 +1,62 @@
+package fdtree
+
+import (
+	"hyfd/internal/bitset"
+	"hyfd/internal/invariant"
+)
+
+// This file hosts the FDTree's build-tag-gated structural invariants
+// (-tags hyfdinvariants; see internal/invariant). The checked contract:
+//
+//   - rhsFds ⊆ rhsAttrs at every node, and every child's rhsAttrs is
+//     covered by its parent's (the summaries that prune generalization
+//     lookups are true supersets);
+//   - no node sits deeper than the maxLhs bound;
+//   - nodeCount matches the allocated nodes (the Guardian budgets on it);
+//   - after Remove, no prunable husk survives: a non-root leaf always
+//     carries at least one summary bit.
+//
+// Add runs a cheap path-local check; Remove and SetMaxLhs, which repair
+// summaries and prune, re-verify the whole tree.
+
+// assertPathMarked verifies, after a successful Add of lhs → rhs, that every
+// node along the path advertises rhs in its subtree summary and the terminal
+// node carries the FD.
+func (t *Tree) assertPathMarked(lhs bitset.Set, rhs int) {
+	n := t.root
+	invariant.Assert(n.rhsAttrs.Test(rhs), "Add: root summary misses rhs %d", rhs)
+	for a := lhs.NextSet(0); a >= 0; a = lhs.NextSet(a + 1) {
+		n = n.children[a]
+		invariant.Assert(n != nil, "Add: path node for attr %d missing", a)
+		invariant.Assert(n.rhsAttrs.Test(rhs), "Add: summary at attr %d misses rhs %d", a, rhs)
+	}
+	invariant.Assert(n.rhsFds.Test(rhs), "Add: terminal node does not carry rhs %d", rhs)
+}
+
+// assertConsistent verifies the whole-tree contract above. op names the
+// mutation for the violation report.
+func (t *Tree) assertConsistent(op string) {
+	count := 0
+	t.assertNode(t.root, 0, op, &count)
+	invariant.Assert(count == t.nodeCount, "%s: nodeCount %d does not match %d allocated nodes",
+		op, t.nodeCount, count)
+}
+
+func (t *Tree) assertNode(n *node, depth int, op string, count *int) {
+	*count++
+	invariant.Assert(depth <= t.maxLhs, "%s: node at depth %d exceeds maxLhs %d", op, depth, t.maxLhs)
+	invariant.Assert(n.rhsFds.IsSubsetOf(n.rhsAttrs), "%s: rhsFds not covered by rhsAttrs at depth %d", op, depth)
+	leaf := true
+	for a, c := range n.children {
+		if c == nil {
+			continue
+		}
+		leaf = false
+		invariant.Assert(c.rhsAttrs.IsSubsetOf(n.rhsAttrs),
+			"%s: child %d summary not covered by parent at depth %d", op, a, depth)
+		t.assertNode(c, depth+1, op, count)
+	}
+	if leaf && depth > 0 {
+		invariant.Assert(!n.rhsAttrs.IsEmpty(), "%s: empty non-root leaf at depth %d was not pruned", op, depth)
+	}
+}

@@ -124,6 +124,7 @@ func Materialize(spec Spec) (*relation.Relation, error) {
 // the current process. Dataset generation time is excluded; peak heap is
 // sampled concurrently.
 func ExecuteInProcess(spec Spec) Result {
+	//hyfdvet:allow ctxflow — no-context compat shim; the context variant is the primary API
 	return ExecuteInProcessContext(context.Background(), spec)
 }
 
@@ -141,6 +142,7 @@ func ExecuteInProcessContext(ctx context.Context, spec Spec) Result {
 // Measure runs the spec's algorithm against an already-materialized
 // relation.
 func Measure(spec Spec, rel *relation.Relation) Result {
+	//hyfdvet:allow ctxflow — no-context compat shim; the context variant is the primary API
 	return MeasureContext(context.Background(), spec, rel)
 }
 

@@ -1,0 +1,31 @@
+//go:build hyfdinvariants
+
+// Package invariant is the engine's build-tag-gated assertion layer. At the
+// default build it compiles to nothing: Enabled is a false constant, so
+// every `if invariant.Enabled { ... }` call-site block is dead code the
+// compiler eliminates — the hot paths carry zero overhead. Building or
+// testing with `-tags hyfdinvariants` flips Enabled to true and arms
+// Assert, turning the structural contracts of fdtree (node/level
+// consistency), pli (stripped-partition shape), and validator (per-level
+// minimality of the positive cover) into hard panics the moment they break.
+//
+// Call sites must guard with Enabled so argument evaluation is also
+// eliminated at the default build:
+//
+//	if invariant.Enabled {
+//		invariant.Assert(len(cluster) >= 2, "cluster of size %d", len(cluster))
+//	}
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant, so guarded blocks disappear entirely at the default build.
+const Enabled = true
+
+// Assert panics with a formatted violation report when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violation: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !hyfdinvariants
+
+// Package invariant is the engine's build-tag-gated assertion layer; this
+// is the default build, where it compiles to nothing. See invariant.go
+// (built under -tags hyfdinvariants) for the full contract.
+package invariant
+
+// Enabled reports whether invariant checking is compiled in; see the
+// package documentation in invariant.go. At the default build it is the
+// false constant, so every guarded assertion block is eliminated.
+const Enabled = false
+
+// Assert is a no-op at the default build. Call sites guard with Enabled, so
+// neither the call nor its arguments survive compilation.
+func Assert(cond bool, format string, args ...any) {}

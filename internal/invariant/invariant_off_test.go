@@ -1,0 +1,19 @@
+//go:build !hyfdinvariants
+
+package invariant
+
+import "testing"
+
+// TestDisabledIsNoOp pins the default-build contract: Enabled is false and
+// Assert never panics, whatever the condition.
+func TestDisabledIsNoOp(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false at the default build")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Assert panicked at the default build: %v", r)
+		}
+	}()
+	Assert(false, "must not fire (got %d)", 42)
+}

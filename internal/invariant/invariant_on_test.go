@@ -1,0 +1,29 @@
+//go:build hyfdinvariants
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnabledAssertPanics pins the armed-build contract: Enabled is true,
+// a false condition panics with the formatted report, and a true condition
+// passes silently.
+func TestEnabledAssertPanics(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under -tags hyfdinvariants")
+	}
+	Assert(true, "must not fire")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false, ...) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violation") || !strings.Contains(msg, "cluster 7") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	Assert(false, "cluster %d broke", 7)
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"hyfd/internal/invariant"
 	"hyfd/internal/relation"
 )
 
@@ -80,6 +81,9 @@ func Build(attr int, column []string, ns relation.NullSemantics) *PLI {
 	sort.Slice(p.Clusters, func(i, j int) bool {
 		return p.Clusters[i][0] < p.Clusters[j][0]
 	})
+	if invariant.Enabled {
+		assertStripped(p)
+	}
 	return p
 }
 
@@ -123,6 +127,7 @@ func BuildAllWith(rel *relation.Relation, ns relation.NullSemantics, opts Option
 	buildOne := func(a int) {
 		start := time.Time{}
 		if opts.OnBuild != nil {
+			//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 			start = time.Now()
 		}
 		col := make([]string, len(rel.Rows))
@@ -131,6 +136,7 @@ func BuildAllWith(rel *relation.Relation, ns relation.NullSemantics, opts Option
 		}
 		plis[a] = Build(a, col, ns)
 		if opts.OnBuild != nil {
+			//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 			opts.OnBuild(plis[a], time.Since(start))
 		}
 	}

@@ -1,0 +1,28 @@
+package validator
+
+import (
+	"hyfd/internal/fdtree"
+	"hyfd/internal/invariant"
+)
+
+// assertLevelMinimal verifies, after a level's candidates have been validated
+// and the invalid ones specialized away, that the positive cover stayed
+// minimal: no FD surviving at this level has a validated generalization in
+// the tree (-tags hyfdinvariants; see internal/invariant). Shallower levels
+// are fully validated by construction, so a hit from FindFdOrGeneral on a
+// one-attribute-smaller LHS is a genuine minimality violation, not a stale
+// candidate.
+func (v *Validator) assertLevelMinimal(level []fdtree.Node) {
+	for _, nd := range level {
+		lhs := nd.Lhs
+		nd.RhsFds().ForEach(func(rhs int) bool {
+			lhs.ForEach(func(a int) bool {
+				invariant.Assert(!v.tree.FindFdOrGeneral(lhs.Without(a), rhs),
+					"validator level %d: %v -> %d is non-minimal, a generalization without attr %d holds",
+					v.levelNumber, lhs.Indices(), rhs, a)
+				return true
+			})
+			return true
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"hyfd/internal/bitset"
 	"hyfd/internal/fdtree"
+	"hyfd/internal/invariant"
 	"hyfd/internal/metrics"
 	"hyfd/internal/pli"
 	"hyfd/internal/trace"
@@ -146,6 +147,7 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 		if len(level) == 0 {
 			break
 		}
+		//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 		levelStart := time.Now()
 		validationsBefore := v.Validations
 		suggestionsBefore := len(res.Suggestions)
@@ -175,6 +177,9 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 		for _, inv := range invalids {
 			v.specialize(inv)
 		}
+		if invariant.Enabled {
+			v.assertLevelMinimal(level)
+		}
 		v.inst.Validations.Add(v.Validations - validationsBefore)
 		v.inst.Suggestions.Add(int64(len(res.Suggestions) - suggestionsBefore))
 		trace.Emit(v.observer, trace.ValidationLevel{
@@ -182,7 +187,8 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 			Candidates: numValid + numInvalid,
 			Valid:      numValid,
 			Invalid:    numInvalid,
-			Duration:   time.Since(levelStart),
+			//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
+			Duration: time.Since(levelStart),
 		})
 		v.levelNumber++
 
