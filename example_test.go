@@ -1,6 +1,7 @@
 package hyfd_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -87,4 +88,32 @@ func ExampleAlgorithms() {
 	fmt.Println(strings.Join(hyfd.Algorithms(), ", "))
 	// Output:
 	// HyFD, Tane, Fun, FD_Mine, Dfd, Dep-Miner, FastFDs, Fdep
+}
+
+// Example_datasetReuse preprocesses a relation once and fans several warm
+// discovery runs out over the shared, immutable Dataset — the pattern for
+// comparing algorithms (or re-running with different options) without
+// paying the PLI build more than once.
+func Example_datasetReuse() {
+	rel := hyfd.NewRelation("addresses", []string{"Name", "Zip", "City"})
+	rel.AppendRow([]string{"ada", "14482", "Potsdam"})
+	rel.AppendRow([]string{"bob", "14482", "Potsdam"})
+	rel.AppendRow([]string{"cyn", "10115", "Berlin"})
+
+	// Preprocess once: PLIs and compressed records are built here.
+	ds, err := hyfd.Prepare(context.Background(), rel, hyfd.PrepareOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Fan out warm runs; each skips preprocessing and may run concurrently.
+	for _, name := range []string{hyfd.AlgorithmHyFD, hyfd.AlgorithmTane} {
+		res, err := hyfd.DiscoverDatasetWith(context.Background(), name, ds, hyfd.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d FDs (warm=%v)\n", name, len(res.FDs), res.Stats.Warm)
+	}
+	// Output:
+	// HyFD: 4 FDs (warm=true)
+	// Tane: 4 FDs (warm=true)
 }

@@ -38,6 +38,7 @@ import (
 	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
 	"hyfd/internal/core"
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/relation"
 	"hyfd/internal/ucc"
@@ -195,26 +196,128 @@ func DiscoverWithContext(ctx context.Context, algorithm string, rel *Relation, o
 		return nil, fmt.Errorf("hyfd: %w %q (available: %v)", ErrUnknownAlgorithm, algorithm, Algorithms())
 	}
 	start := time.Now()
-	set, err := alg.Discover(ctx, rel, algorithms.Config{
+	set, err := algorithms.DiscoverRelation(ctx, alg, rel, algorithms.Config{
 		NullSemantics: opts.NullSemantics,
 		MaxLhsSize:    opts.MaxLhsSize,
 	})
 	if err != nil {
 		return nil, err
 	}
+	return baselineResult(set, rel.NumRows(), rel.NumCols(), opts.MaxLhsSize, false, time.Since(start)), nil
+}
+
+// baselineResult assembles the Stats/Result pair of a baseline run; the
+// baselines don't report the engine's per-phase telemetry, so only the
+// dimensional and outcome fields are populated.
+func baselineResult(set *FDSet, rows, cols, maxLhsSize int, warm bool, total time.Duration) *Result {
 	stats := &Stats{
-		Rows:      rel.NumRows(),
-		Cols:      rel.NumCols(),
+		Rows:      rows,
+		Cols:      cols,
 		FDCount:   set.Size(),
-		MaxLhs:    rel.NumCols(),
+		MaxLhs:    cols,
 		Complete:  true,
-		TotalTime: time.Since(start),
+		Warm:      warm,
+		TotalTime: total,
 	}
-	if opts.MaxLhsSize > 0 {
-		stats.MaxLhs = opts.MaxLhsSize
+	if maxLhsSize > 0 {
+		stats.MaxLhs = maxLhsSize
 		stats.Complete = false
 	}
+	return &Result{FDs: set.All(), Set: set, Stats: stats}
+}
+
+// Dataset is an immutable, goroutine-safe preprocessing artifact: the
+// relation handle together with its sorted PLIs, PLI-compressed records,
+// null semantics, and resolved thread count. Produce one with Prepare and
+// fan out any number of concurrent Discover runs over it — HyFD, every
+// baseline, approximate FDs, and UCCs all accept a Dataset, and each warm
+// run yields results bit-for-bit identical to a cold run on the underlying
+// relation.
+type Dataset = dataset.Dataset
+
+// PrepareOptions parameterizes Prepare. The zero value uses null=null
+// semantics and one worker per available CPU.
+type PrepareOptions struct {
+	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥. The choice is baked into
+	// the Dataset's PLIs: every run over the Dataset uses it, and the
+	// NullSemantics field of per-run Options is ignored for Dataset-based
+	// calls.
+	NullSemantics NullSemantics
+	// Threads is the preprocessing worker count (1 = sequential, <= 0 =
+	// all CPUs). The resolved count is recorded on the Dataset and becomes
+	// the default worker count of runs that don't override it.
+	Threads int
+	// Observer, when non-nil, receives the preprocessing trace events
+	// (PLIBuilt per attribute, then PreprocessingDone) exactly as a cold
+	// Discover would emit them.
+	Observer Observer
+	// Metrics, when non-nil, collects preprocessing telemetry (PLI build
+	// durations, cluster sizes) into the registry's hyfd_* families.
+	Metrics *MetricsRegistry
+}
+
+// Prepare runs HyFD's preprocessing (Algorithm 1: PLI construction and
+// record inversion) once over the relation and returns the immutable
+// Dataset every discovery entry point can consume. Preprocessing is
+// bit-for-bit deterministic for every thread count. The context is honored;
+// a canceled context returns an error wrapping ctx.Err().
+func Prepare(ctx context.Context, rel *Relation, opts PrepareOptions) (*Dataset, error) {
+	return core.Prepare(ctx, rel, core.Config{
+		NullSemantics: opts.NullSemantics,
+		Threads:       opts.Threads,
+		Observer:      opts.Observer,
+		Metrics:       opts.Metrics,
+	})
+}
+
+// DiscoverDataset runs HyFD over a prepared Dataset — a warm run that skips
+// preprocessing entirely. The result is bit-for-bit identical to
+// DiscoverContext on the underlying relation at the same thread count;
+// Stats.Warm is set and Stats.PreprocessingTime covers only the (near-zero)
+// reuse overhead. Because the Dataset is immutable, any number of
+// DiscoverDataset calls may run concurrently over the same value.
+//
+// opts.NullSemantics is ignored: the Dataset's baked-in semantics apply.
+// opts.Threads > 0 overrides the sampling/validation worker count; any
+// value <= 0 inherits the Dataset's resolved count.
+func DiscoverDataset(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
+	set, stats, err := core.DiscoverDataset(ctx, ds, core.Config{
+		EfficiencyThreshold: opts.EfficiencyThreshold,
+		Threads:             opts.Threads,
+		MaxLhsSize:          opts.MaxLhsSize,
+		MemoryBudgetBytes:   opts.MemoryBudgetBytes,
+		Observer:            opts.Observer,
+		Metrics:             opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &Result{FDs: set.All(), Set: set, Stats: stats}, nil
+}
+
+// DiscoverDatasetWith runs the named algorithm over a prepared Dataset; see
+// Algorithms for the available names. "HyFD" dispatches to DiscoverDataset;
+// the baselines run warm against the shared PLIs with per-run intersection
+// caches, honoring MaxLhsSize. The Dataset's null semantics apply
+// regardless of opts.NullSemantics. An unregistered name returns an error
+// wrapping ErrUnknownAlgorithm.
+func DiscoverDatasetWith(ctx context.Context, algorithm string, ds *Dataset, opts Options) (*Result, error) {
+	if algorithm == AlgorithmHyFD {
+		return DiscoverDataset(ctx, ds, opts)
+	}
+	alg, ok := registry[algorithm]
+	if !ok {
+		return nil, fmt.Errorf("hyfd: %w %q (available: %v)", ErrUnknownAlgorithm, algorithm, Algorithms())
+	}
+	if ds == nil {
+		return nil, errors.New("hyfd: nil dataset")
+	}
+	start := time.Now()
+	set, err := alg.Discover(ctx, ds, algorithms.Config{MaxLhsSize: opts.MaxLhsSize})
+	if err != nil {
+		return nil, err
+	}
+	return baselineResult(set, ds.NumRows(), ds.NumCols(), opts.MaxLhsSize, true, time.Since(start)), nil
 }
 
 // ApproximateFD is an approximate functional dependency with its g3 error:
@@ -242,9 +345,31 @@ func DiscoverApproximate(rel *Relation, opts ApproximateOptions) ([]ApproximateF
 	})
 }
 
+// DiscoverApproximateDataset is DiscoverApproximate over a prepared
+// Dataset, reusing its PLIs instead of re-preprocessing. The Dataset's null
+// semantics apply; opts.NullSemantics is ignored.
+func DiscoverApproximateDataset(ds *Dataset, opts ApproximateOptions) ([]ApproximateFD, error) {
+	if ds == nil {
+		return nil, errors.New("hyfd: nil dataset")
+	}
+	return afd.DiscoverDataset(ds, afd.Options{
+		MaxError: opts.MaxError,
+		MaxLhs:   opts.MaxLhsSize,
+	})
+}
+
 // DiscoverUCCs returns all minimal unique column combinations (candidate
 // keys of the instance), the sister problem of FD discovery. maxSize
 // bounds the combination size (0 = unbounded).
 func DiscoverUCCs(rel *Relation, ns NullSemantics, maxSize int) ([]AttrSet, error) {
 	return ucc.Discover(rel, ns, maxSize)
+}
+
+// DiscoverUCCsDataset is DiscoverUCCs over a prepared Dataset, reusing its
+// PLIs instead of re-preprocessing. The Dataset's null semantics apply.
+func DiscoverUCCsDataset(ds *Dataset, maxSize int) ([]AttrSet, error) {
+	if ds == nil {
+		return nil, errors.New("hyfd: nil dataset")
+	}
+	return ucc.DiscoverDataset(ds, maxSize)
 }

@@ -7,10 +7,12 @@
 package afd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hyfd/internal/bitset"
+	"hyfd/internal/dataset"
 	"hyfd/internal/pli"
 	"hyfd/internal/relation"
 )
@@ -81,10 +83,22 @@ type Options struct {
 // level-wise search with subset pruning enumerates exactly the minimal
 // ones.
 func Discover(rel *relation.Relation, opts Options) ([]AFD, error) {
-	if err := rel.Validate(); err != nil {
+	//hyfdvet:allow ctxflow — no-context compat shim; DiscoverDataset is the context-free primary path
+	ds, err := dataset.Prepare(context.Background(), rel, dataset.Options{
+		NullSemantics: opts.NullSemantics,
+		Threads:       1,
+	})
+	if err != nil {
 		return nil, err
 	}
-	m := rel.NumCols()
+	return DiscoverDataset(ds, opts)
+}
+
+// DiscoverDataset is Discover over an already-prepared Dataset: the shared
+// PLIs are only read, so concurrent calls over one Dataset are race-clean.
+// opts.NullSemantics is ignored — the dataset's baked-in semantics apply.
+func DiscoverDataset(ds *dataset.Dataset, opts Options) ([]AFD, error) {
+	m := ds.NumCols()
 	if m == 0 {
 		return nil, nil
 	}
@@ -92,8 +106,8 @@ func Discover(rel *relation.Relation, opts Options) ([]AFD, error) {
 	if maxLhs <= 0 || maxLhs > m-1 {
 		maxLhs = m - 1
 	}
-	ix := pli.NewIndex(rel, opts.NullSemantics)
-	cache := pli.NewCache(ix.Plis, ix.NumRows)
+	ix := ds.Index()
+	cache := ds.NewCache()
 
 	var out []AFD
 	for rhs := 0; rhs < m; rhs++ {

@@ -3,15 +3,24 @@
 // traversal family (TANE, FUN, FD_Mine, DFD), the difference-/agree-set
 // family (Dep-Miner, FastFDs) and the dependency induction family (FDEP).
 // Each lives in its own subpackage and implements the same contract:
-// discover all minimal, non-trivial FDs of a relation, honoring the
+// discover all minimal, non-trivial FDs of a prepared Dataset, honoring the
 // caller's context (cancellation checkpoints sit inside every long-running
 // loop) and the shared Config.
+//
+// All baselines consume the immutable dataset.Dataset artifact instead of
+// re-running preprocessing themselves: the shared PLIs and compressed
+// records are read-only, and per-run mutable state (partition caches,
+// intersectors) is created fresh inside every Discover call, so concurrent
+// runs over one Dataset are race-clean. Callers holding only a raw relation
+// use the DiscoverRelation shim.
 package algorithms
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/relation"
 )
@@ -19,7 +28,9 @@ import (
 // Config carries the cross-algorithm discovery parameters. The zero value
 // selects null=null semantics and unbounded LHS sizes.
 type Config struct {
-	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥ comparisons.
+	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥ comparisons. It only
+	// applies when preprocessing runs (DiscoverRelation); Dataset-based
+	// Discover calls always use the semantics the PLIs were built under.
 	NullSemantics relation.NullSemantics
 	// MaxLhsSize bounds result LHS cardinality (0 = unbounded). The result
 	// is then exactly the minimal FDs with |LHS| ≤ MaxLhsSize: a truncation
@@ -28,14 +39,36 @@ type Config struct {
 }
 
 // Algorithm is the common contract of all FD discovery implementations.
+// Implementations are stateless values: all per-run state lives inside
+// Discover, so one Algorithm instance may serve concurrent runs.
 type Algorithm interface {
 	// Name returns the algorithm's canonical name as used in the paper.
 	Name() string
-	// Discover returns all minimal, non-trivial FDs of the relation,
-	// subject to cfg. Implementations check ctx at their cancellation
-	// checkpoints and return an error wrapping ctx.Err() promptly once the
-	// context is canceled or its deadline passes.
-	Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set, error)
+	// Discover returns all minimal, non-trivial FDs of the prepared
+	// dataset, subject to cfg. The dataset's PLIs and records are shared
+	// read-only state and must not be mutated. Implementations check ctx
+	// at their cancellation checkpoints and return an error wrapping
+	// ctx.Err() promptly once the context is canceled or its deadline
+	// passes.
+	Discover(ctx context.Context, ds *dataset.Dataset, cfg Config) (*fd.Set, error)
+}
+
+// DiscoverRelation runs alg on a raw relation by preparing a throwaway
+// Dataset first — the pre-Dataset behavior of every baseline. Preprocessing
+// runs single-threaded, matching the historical sequential builds of the
+// baselines, under cfg.NullSemantics.
+func DiscoverRelation(ctx context.Context, alg Algorithm, rel *relation.Relation, cfg Config) (*fd.Set, error) {
+	if alg == nil {
+		return nil, errors.New("algorithms: nil algorithm")
+	}
+	ds, err := dataset.Prepare(ctx, rel, dataset.Options{
+		NullSemantics: cfg.NullSemantics,
+		Threads:       1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", alg.Name(), err)
+	}
+	return alg.Discover(ctx, ds, cfg)
 }
 
 // Canceled converts a context cancellation into the error contract of

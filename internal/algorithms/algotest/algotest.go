@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"sync"
 	"testing"
 
 	"hyfd/internal/algorithms"
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/relation"
 )
@@ -50,7 +52,7 @@ func ClassRelation() *relation.Relation {
 // check asserts the algorithm reproduces the brute-force result.
 func check(t *testing.T, alg algorithms.Algorithm, rel *relation.Relation, ns relation.NullSemantics) {
 	t.Helper()
-	got, err := alg.Discover(context.Background(), rel, algorithms.Config{NullSemantics: ns})
+	got, err := algorithms.DiscoverRelation(context.Background(), alg, rel, algorithms.Config{NullSemantics: ns})
 	if err != nil {
 		t.Fatalf("%s on %s: %v", alg.Name(), rel.Name, err)
 	}
@@ -153,7 +155,7 @@ func RunConformance(t *testing.T, alg algorithms.Algorithm, seed int64) {
 		rel.Name = "bounded-lhs"
 		full := fd.BruteForce(rel, relation.NullEqualsNull)
 		for max := 1; max <= 3; max++ {
-			got, err := alg.Discover(context.Background(), rel, algorithms.Config{MaxLhsSize: max})
+			got, err := algorithms.DiscoverRelation(context.Background(), alg, rel, algorithms.Config{MaxLhsSize: max})
 			if err != nil {
 				t.Fatalf("%s max=%d: %v", alg.Name(), max, err)
 			}
@@ -171,8 +173,54 @@ func RunConformance(t *testing.T, alg algorithms.Algorithm, seed int64) {
 		r := rand.New(rand.NewSource(seed + 3))
 		rel := RandomRelation(r, 60, 5, 3)
 		rel.Name = "canceled"
-		if _, err := alg.Discover(ctx, rel, algorithms.Config{}); !errors.Is(err, context.Canceled) {
+		if _, err := algorithms.DiscoverRelation(ctx, alg, rel, algorithms.Config{}); !errors.Is(err, context.Canceled) {
 			t.Fatalf("%s: err = %v, want context.Canceled", alg.Name(), err)
+		}
+	})
+
+	t.Run("dataset reuse", func(t *testing.T) {
+		// One Prepare, many warm runs: concurrent Discover calls over a
+		// shared Dataset must reproduce the cold result bit-for-bit for
+		// both null semantics. Run with -race to pin the goroutine-safety
+		// half of the contract.
+		r := rand.New(rand.NewSource(seed + 4))
+		rel := RandomRelation(r, 30, 5, 3)
+		for i := range rel.Rows {
+			if r.Intn(5) == 0 {
+				rel.Rows[i][r.Intn(len(rel.Rows[i]))] = relation.Null
+			}
+		}
+		rel.Name = "warm-reuse"
+		for _, ns := range []relation.NullSemantics{relation.NullEqualsNull, relation.NullNotEqualsNull} {
+			cfg := algorithms.Config{NullSemantics: ns}
+			want, err := algorithms.DiscoverRelation(context.Background(), alg, rel, cfg)
+			if err != nil {
+				t.Fatalf("%s cold (%v): %v", alg.Name(), ns, err)
+			}
+			ds, err := dataset.Prepare(context.Background(), rel, dataset.Options{NullSemantics: ns})
+			if err != nil {
+				t.Fatalf("Prepare (%v): %v", ns, err)
+			}
+			var wg sync.WaitGroup
+			results := make([]*fd.Set, 4)
+			errs := make([]error, 4)
+			for g := range results {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					results[g], errs[g] = alg.Discover(context.Background(), ds, cfg)
+				}(g)
+			}
+			wg.Wait()
+			for g, err := range errs {
+				if err != nil {
+					t.Fatalf("%s warm run %d (%v): %v", alg.Name(), g, ns, err)
+				}
+				if !results[g].Equal(want) {
+					t.Fatalf("%s warm run %d (%v) diverged from cold result:\nmissing: %v\nextra: %v",
+						alg.Name(), g, ns, want.Diff(results[g]), results[g].Diff(want))
+				}
+			}
 		}
 	})
 }

@@ -16,8 +16,7 @@ import (
 	"hyfd/internal/algorithms/hitset"
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
-	"hyfd/internal/pli"
-	"hyfd/internal/relation"
+	"hyfd/internal/dataset"
 )
 
 // DepMiner discovers FDs via maximal agree sets and minimal covers.
@@ -34,16 +33,13 @@ func (*DepMiner) Name() string { return "Dep-Miner" }
 // phase checks the context once per RHS attribute. A MaxLhsSize bound is
 // applied to the finished result — the transversal enumeration is already
 // level-wise minimal, so dropping deep LHSs afterwards loses nothing.
-func (*DepMiner) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
-	if err := rel.Validate(); err != nil {
-		return nil, err
-	}
-	m := rel.NumCols()
+func (*DepMiner) Discover(ctx context.Context, ds *dataset.Dataset, cfg algorithms.Config) (*fd.Set, error) {
+	m := ds.NumCols()
 	out := fd.NewSet(m)
 	if m == 0 {
 		return out, nil
 	}
-	ix := pli.NewIndex(rel, cfg.NullSemantics)
+	ix := ds.Index()
 	ag, err := agreeset.Compute(ctx, ix)
 	if err != nil {
 		return nil, fmt.Errorf("Dep-Miner: discovery interrupted: %w", err)

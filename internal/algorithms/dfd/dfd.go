@@ -16,9 +16,9 @@ import (
 	"hyfd/internal/algorithms"
 	"hyfd/internal/algorithms/hitset"
 	"hyfd/internal/bitset"
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/pli"
-	"hyfd/internal/relation"
 )
 
 // DFD discovers FDs via per-RHS random lattice walks.
@@ -37,18 +37,15 @@ func (*DFD) Name() string { return "Dfd" }
 // every walk step (each step may cost a partition intersection); a
 // MaxLhsSize bound is applied to the finished result, since random walks
 // classify lattice nodes in an order a level cutoff cannot bound.
-func (d *DFD) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
-	if err := rel.Validate(); err != nil {
-		return nil, err
-	}
-	m := rel.NumCols()
+func (d *DFD) Discover(ctx context.Context, ds *dataset.Dataset, cfg algorithms.Config) (*fd.Set, error) {
+	m := ds.NumCols()
 	out := fd.NewSet(m)
 	if m == 0 {
 		return out, nil
 	}
-	n := rel.NumRows()
-	plis := pli.BuildAll(rel, cfg.NullSemantics)
-	cache := pli.NewCache(plis, n)
+	n := ds.NumRows()
+	plis := ds.Plis()
+	cache := ds.NewCache()
 	//hyfdvet:allow determinism — fixed-seed rng: DFD's random walk is reproducible by construction
 	rng := rand.New(rand.NewSource(d.seed))
 

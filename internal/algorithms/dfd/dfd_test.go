@@ -18,12 +18,12 @@ func TestSeedIndependence(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 8; trial++ {
 		rel := algotest.RandomRelation(r, 30, 5, 3)
-		want, err := New(0).Discover(context.Background(), rel, algorithms.Config{})
+		want, err := algorithms.DiscoverRelation(context.Background(), New(0), rel, algorithms.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for seed := int64(1); seed <= 5; seed++ {
-			got, err := New(seed).Discover(context.Background(), rel, algorithms.Config{})
+			got, err := algorithms.DiscoverRelation(context.Background(), New(seed), rel, algorithms.Config{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -15,8 +15,7 @@ import (
 	"hyfd/internal/algorithms/agreeset"
 	"hyfd/internal/bitset"
 	"hyfd/internal/fd"
-	"hyfd/internal/pli"
-	"hyfd/internal/relation"
+	"hyfd/internal/dataset"
 )
 
 // FastFDs discovers FDs via depth-first minimal cover search.
@@ -33,16 +32,13 @@ func (*FastFDs) Name() string { return "FastFDs" }
 // search checks the context once per recursive call. A MaxLhsSize bound is
 // applied to the finished result, since the DFS emits covers in
 // heuristic — not level — order.
-func (*FastFDs) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
-	if err := rel.Validate(); err != nil {
-		return nil, err
-	}
-	m := rel.NumCols()
+func (*FastFDs) Discover(ctx context.Context, ds *dataset.Dataset, cfg algorithms.Config) (*fd.Set, error) {
+	m := ds.NumCols()
 	out := fd.NewSet(m)
 	if m == 0 {
 		return out, nil
 	}
-	ix := pli.NewIndex(rel, cfg.NullSemantics)
+	ix := ds.Index()
 	ag, err := agreeset.Compute(ctx, ix)
 	if err != nil {
 		return nil, fmt.Errorf("FastFDs: discovery interrupted: %w", err)

@@ -12,10 +12,10 @@ import (
 
 	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/inductor"
 	"hyfd/internal/pli"
-	"hyfd/internal/relation"
 )
 
 // cancelStride bounds how many record pairs the exhaustive comparison may
@@ -35,17 +35,15 @@ func (*FDEP) Name() string { return "Fdep" }
 // checks the context every cancelStride pairs; a MaxLhsSize bound is pushed
 // into the positive cover's FDTree so specialization never materializes
 // LHSs beyond the bound (the same mechanism HyFD's Guardian uses).
-func (*FDEP) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
-	if err := rel.Validate(); err != nil {
-		return nil, err
-	}
-	m := rel.NumCols()
+func (*FDEP) Discover(ctx context.Context, ds *dataset.Dataset, cfg algorithms.Config) (*fd.Set, error) {
+	m := ds.NumCols()
 	if m == 0 {
 		return fd.NewSet(0), nil
 	}
-	// Compress records first: comparing cluster ids is cheaper than
-	// comparing strings (the same optimization HyFD applies, §10.3).
-	ix := pli.NewIndex(rel, cfg.NullSemantics)
+	// The Dataset's compressed records drive the comparison: comparing
+	// cluster ids is cheaper than comparing strings (the same optimization
+	// HyFD applies, §10.3).
+	ix := ds.Index()
 	seen := make(map[string]struct{})
 	var nonFds []bitset.Set
 	var pairs int64

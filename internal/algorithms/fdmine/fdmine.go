@@ -12,10 +12,10 @@ import (
 
 	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/fdtree"
 	"hyfd/internal/pli"
-	"hyfd/internal/relation"
 )
 
 // FDMine discovers FDs via level-wise traversal with equivalence pruning.
@@ -32,17 +32,14 @@ func (*FDMine) Name() string { return "FD_Mine" }
 // cardinality, so a MaxLhsSize bound stops the traversal after level
 // MaxLhsSize; the post-hoc minimization only consults shallower levels and
 // stays correct under the cutoff.
-func (*FDMine) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
-	if err := rel.Validate(); err != nil {
-		return nil, err
-	}
-	m := rel.NumCols()
+func (*FDMine) Discover(ctx context.Context, ds *dataset.Dataset, cfg algorithms.Config) (*fd.Set, error) {
+	m := ds.NumCols()
 	out := fd.NewSet(m)
 	if m == 0 {
 		return out, nil
 	}
-	n := rel.NumRows()
-	plis := pli.BuildAll(rel, cfg.NullSemantics)
+	n := ds.NumRows()
+	plis := ds.Plis()
 	inter := pli.NewIntersector(n)
 
 	emptyError := 0

@@ -12,9 +12,8 @@ import (
 
 	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
-	"hyfd/internal/pli"
-	"hyfd/internal/relation"
 )
 
 // FUN discovers FDs via free sets and cardinality reasoning.
@@ -30,18 +29,13 @@ func (*FUN) Name() string { return "Fun" }
 // per free-set candidate; every FD FUN emits at level ℓ has a LHS of
 // exactly ℓ attributes, so a MaxLhsSize bound simply stops the traversal
 // after level MaxLhsSize.
-func (*FUN) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
-	if err := rel.Validate(); err != nil {
-		return nil, err
-	}
-	m := rel.NumCols()
+func (*FUN) Discover(ctx context.Context, ds *dataset.Dataset, cfg algorithms.Config) (*fd.Set, error) {
+	m := ds.NumCols()
 	out := fd.NewSet(m)
 	if m == 0 {
 		return out, nil
 	}
-	n := rel.NumRows()
-	plis := pli.BuildAll(rel, cfg.NullSemantics)
-	cnt := pli.NewCache(plis, n)
+	cnt := ds.NewCache()
 
 	// ∅ → A for constant columns; such attributes can never be the RHS of
 	// another minimal FD, nor appear in a free set of size ≥ 1 usefully.

@@ -12,9 +12,9 @@ import (
 
 	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/pli"
-	"hyfd/internal/relation"
 )
 
 // TANE discovers FDs via level-wise lattice traversal.
@@ -39,17 +39,14 @@ type element struct {
 // per lattice node; cancellation aborts the traversal with a wrapped
 // ctx.Err(). A MaxLhsSize bound additionally cuts the traversal off after
 // the level that can still contribute minimal FDs within the bound.
-func (*TANE) Discover(ctx context.Context, rel *relation.Relation, cfg algorithms.Config) (*fd.Set, error) {
-	if err := rel.Validate(); err != nil {
-		return nil, err
-	}
-	m := rel.NumCols()
+func (*TANE) Discover(ctx context.Context, ds *dataset.Dataset, cfg algorithms.Config) (*fd.Set, error) {
+	m := ds.NumCols()
 	out := fd.NewSet(m)
 	if m == 0 {
 		return out, nil
 	}
-	n := rel.NumRows()
-	plis := pli.BuildAll(rel, cfg.NullSemantics)
+	n := ds.NumRows()
+	plis := ds.Plis()
 	intersector := pli.NewIntersector(n)
 
 	// e(∅): the empty attribute set groups all records into one cluster.

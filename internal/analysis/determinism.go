@@ -12,6 +12,7 @@ import (
 var determinismScopes = []string{
 	"internal/pli",
 	"internal/relation",
+	"internal/dataset",
 	"internal/sampler",
 	"internal/inductor",
 	"internal/validator",

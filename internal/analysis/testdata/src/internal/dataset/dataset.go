@@ -1,0 +1,49 @@
+// Package dataset is a corpus stub of the immutable preprocessing
+// artifact. It seeds hooksafe violations (the optional hooks fired without
+// nil protection) and the bitsetalias shared-state exemption: the owning
+// package may seed artifact internals through its own accessors while
+// constructing them.
+package dataset
+
+import (
+	"hyfd/internal/metrics"
+	"hyfd/internal/pli"
+	"hyfd/internal/trace"
+)
+
+// Dataset is the shared artifact: accessors hand out state that consumer
+// packages must never write through.
+type Dataset struct {
+	ix    *pli.Index
+	obs   trace.Observer
+	built *metrics.Counter
+}
+
+// Index returns the shared PLI index.
+func (d *Dataset) Index() *pli.Index { return d.ix }
+
+// Plis returns the shared per-attribute PLIs.
+func (d *Dataset) Plis() []*pli.PLI { return d.ix.Plis }
+
+// PrepareBad fires the optional hooks without nil protection.
+func (d *Dataset) PrepareBad(n int) {
+	d.ix = pli.Build(n)
+	d.obs.Observe(trace.Event{Name: "prepared"}) // want "hooksafe: call to Observe on a trace.Observer without a dominating nil check"
+	d.built.Reset()                              // want "hooksafe: call to Reset on a metrics instrument"
+}
+
+// PrepareGood guards the hooks and seeds artifact state through its own
+// accessors — the owner package is exempt from the shared-state rule, so
+// nothing is reported.
+func (d *Dataset) PrepareGood(n int) {
+	d.ix = pli.Build(n)
+	d.Index().NumRows = n
+	d.Plis()[0].Clusters = nil
+	if d.obs != nil {
+		d.obs.Observe(trace.Event{Name: "prepared"})
+	}
+	if d.built != nil {
+		d.built.Reset()
+	}
+	d.built.Inc()
+}

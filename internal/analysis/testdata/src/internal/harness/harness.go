@@ -1,0 +1,34 @@
+// Package harness seeds the bitsetalias shared-state rule from the
+// consumer side: a prepared Dataset and its PLIs are shared read-only
+// between concurrent runs, so writes through their accessor results are
+// findings here.
+package harness
+
+import (
+	"hyfd/internal/dataset"
+	"hyfd/internal/pli"
+)
+
+// MutateShared writes through accessor results flowing from the shared
+// artifacts.
+func MutateShared(ds *dataset.Dataset) {
+	ds.Plis()[0].Clusters = nil  // want "bitsetalias: write through a pli.PLI accessor result"
+	ds.Index().NumRows = 0       // want "bitsetalias: write through a pli.Index accessor result"
+	ds.Index().Records[0][1] = 5 // want "bitsetalias: write through a pli.Index accessor result"
+	ds.Index().NumRows++         // want "bitsetalias: write through a pli.Index accessor result"
+}
+
+// ReadShared reads shared state freely and writes only locally built
+// artifacts: no finding.
+func ReadShared(ds *dataset.Dataset) int {
+	total := ds.Index().NumRows
+	for _, p := range ds.Plis() {
+		total += len(p.Clusters)
+	}
+	mine := pli.Build(2)
+	mine.NumRows = total // a locally built index is the caller's to write
+	for _, rec := range mine.Records {
+		rec[0] = 1
+	}
+	return total
+}

@@ -46,3 +46,31 @@ func TimestampAllowed() int64 {
 	//hyfdvet:allow determinism — corpus fixture for suppression coverage
 	return time.Now().Unix()
 }
+
+// PLI and Index are corpus stubs of the shared preprocessing artifacts the
+// bitsetalias shared-state rule protects: consumer packages must not write
+// through accessors returning them.
+type PLI struct {
+	Attr     int
+	Clusters [][]int32
+}
+
+// Index bundles the per-attribute PLIs with the compressed records.
+type Index struct {
+	Plis    []*PLI
+	Records [][]int32
+	NumRows int
+}
+
+// Build constructs an Index. The owning package writes artifact internals
+// freely — it is exempt from the shared-state rule.
+func Build(n int) *Index {
+	ix := &Index{NumRows: 2}
+	for a := 0; a < n; a++ {
+		p := &PLI{Attr: a}
+		p.Clusters = append(p.Clusters, []int32{0, 1})
+		ix.Plis = append(ix.Plis, p)
+		ix.Records = append(ix.Records, make([]int32, n))
+	}
+	return ix
+}

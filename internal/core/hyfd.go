@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/guardian"
 	"hyfd/internal/inductor"
@@ -103,6 +104,10 @@ type Stats struct {
 	// Threads is the resolved worker count the run executed with (the
 	// configured value, or GOMAXPROCS when that was <= 0).
 	Threads int `json:"threads"`
+	// Warm is true when the run reused an already-prepared Dataset: its
+	// PreprocessingTime then covers only the (near-zero) reuse overhead,
+	// not the amortized build cost (see dataset.Dataset.PreprocessingTime).
+	Warm bool `json:"warm,omitempty"`
 
 	// Wall-clock per-phase timings, sourced from the run's trace events:
 	// PreprocessingTime covers PLI and compressed-record construction,
@@ -168,35 +173,129 @@ func Discover(ctx context.Context, rel *relation.Relation, cfg Config) (*fd.Set,
 	if err := ctx.Err(); err != nil {
 		return nil, nil, interrupted(err)
 	}
+	// Preprocessor (Alg. 1). The relation was already validated above, so
+	// any error out of prepare is a context interruption.
+	ds, err := prepare(ctx, rel, cfg.NullSemantics, threads, obs, em)
+	if err != nil {
+		return nil, nil, interrupted(err)
+	}
+	return run(ctx, ds.Index(), cfg, threads, stats, obs, em, start)
+}
 
-	// Preprocessor (Alg. 1). The build fans attributes over the worker
-	// pool; per-attribute timings land in builds via disjoint slot writes,
-	// and the trace events replay them in attribute order afterwards so
-	// observers keep their single-goroutine, deterministic-order contract.
-	builds := make([]struct {
-		clusters int
-		duration time.Duration
-	}, rel.NumCols())
-	ix := pli.NewIndexWith(rel, cfg.NullSemantics, pli.Options{
-		Threads: threads,
+// Prepare runs HyFD's preprocessing (Alg. 1: PLI construction + record
+// inversion) once over the relation and returns the immutable Dataset that
+// warm runs — DiscoverDataset here, and every converted baseline — consume.
+// Observers registered in cfg receive the same PLIBuilt (in attribute
+// order), cluster-size metrics, and PreprocessingDone events a cold Discover
+// would emit. Only cfg.NullSemantics, cfg.Threads, cfg.Observer, and
+// cfg.Metrics are consulted.
+func Prepare(ctx context.Context, rel *relation.Relation, cfg Config) (*dataset.Dataset, error) {
+	if ctx == nil {
+		//hyfdvet:allow ctxflow — documented nil-ctx defaulting at the engine's public boundary
+		ctx = context.Background()
+	}
+	if rel == nil {
+		return nil, errors.New("hyfd: nil relation")
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	em := metrics.NewEngineMetrics(cfg.Metrics)
+	obs := trace.Multi(em.Observer(), cfg.Observer)
+	ds, err := prepare(ctx, rel, cfg.NullSemantics, threads, obs, em)
+	if err != nil {
+		return nil, interrupted(err)
+	}
+	return ds, nil
+}
+
+// buildStat records one attribute's PLI build outcome for ordered replay.
+type buildStat struct {
+	clusters int
+	duration time.Duration
+}
+
+// prepare builds the Dataset and emits the preprocessing event sequence.
+// The build fans attributes over the worker pool; per-attribute timings land
+// in builds via disjoint slot writes, and the trace events replay them in
+// attribute order afterwards so observers keep their single-goroutine,
+// deterministic-order contract.
+func prepare(ctx context.Context, rel *relation.Relation, ns relation.NullSemantics, threads int, obs trace.Observer, em *metrics.EngineMetrics) (*dataset.Dataset, error) {
+	builds := make([]buildStat, rel.NumCols())
+	ds, err := dataset.Prepare(ctx, rel, dataset.Options{
+		NullSemantics: ns,
+		Threads:       threads,
 		OnBuild: func(p *pli.PLI, d time.Duration) {
-			builds[p.Attr] = struct {
-				clusters int
-				duration time.Duration
-			}{p.NumClusters, d}
+			builds[p.Attr] = buildStat{p.NumClusters, d}
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
 	for attr, b := range builds {
 		trace.Emit(obs, trace.PLIBuilt{Attr: attr, Clusters: b.clusters, Duration: b.duration})
 	}
 	if em != nil {
-		ix.ForEachClusterSize(func(size int) { em.PLIClusterSize.Observe(float64(size)) })
+		ds.Index().ForEachClusterSize(func(size int) { em.PLIClusterSize.Observe(float64(size)) })
 	}
 	trace.Emit(obs, trace.PreprocessingDone{
-		//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
-		Rows: stats.Rows, Cols: stats.Cols, Threads: threads, Duration: time.Since(start),
+		Rows: rel.NumRows(), Cols: rel.NumCols(), Threads: threads, Duration: ds.PreprocessingTime(),
 	})
+	return ds, nil
+}
 
+// DiscoverDataset runs HyFD over an already-prepared Dataset — a warm run.
+// It never rebuilds PLIs: Stats.Warm is set, Stats.PreprocessingTime covers
+// only the (near-zero) reuse overhead, and observers receive a single
+// PreprocessingDone event with Warm set instead of the build sequence.
+//
+// cfg.NullSemantics is ignored: the Dataset's PLIs were built under
+// ds.NullSemantics() and a conflicting option could not be honored without
+// rebuilding. cfg.Threads > 0 overrides the worker count for sampling and
+// validation; any value <= 0 inherits the dataset's resolved count. Because
+// the Dataset is immutable, any number of DiscoverDataset calls may run
+// concurrently over the same ds, and each produces a result bit-for-bit
+// identical to a cold Discover at the same thread count.
+func DiscoverDataset(ctx context.Context, ds *dataset.Dataset, cfg Config) (*fd.Set, *Stats, error) {
+	if ctx == nil {
+		//hyfdvet:allow ctxflow — documented nil-ctx defaulting at the engine's public boundary
+		ctx = context.Background()
+	}
+	if ds == nil {
+		return nil, nil, errors.New("hyfd: nil dataset")
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = ds.Threads()
+	}
+	stats := &Stats{Rows: ds.NumRows(), Cols: ds.NumCols(), Complete: true, Threads: threads, Warm: true}
+	if ds.NumCols() == 0 {
+		stats.MaxLhs = 0
+		return fd.NewSet(0), stats, nil
+	}
+	em := metrics.NewEngineMetrics(cfg.Metrics)
+	obs := trace.Multi(statsTimers{stats}, em.Observer(), cfg.Observer)
+	//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, interrupted(err)
+	}
+	trace.Emit(obs, trace.PreprocessingDone{
+		Rows: stats.Rows, Cols: stats.Cols, Threads: threads, Warm: true,
+		//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
+		Duration: time.Since(start),
+	})
+	return run(ctx, ds.Index(), cfg, threads, stats, obs, em, start)
+}
+
+// run executes the alternating Phase 1 / Phase 2 loop over a prepared PLI
+// index. It is shared by cold runs (Discover, after building the index) and
+// warm runs (DiscoverDataset); the index is only read.
+func run(ctx context.Context, ix *pli.Index, cfg Config, threads int, stats *Stats, obs trace.Observer, em *metrics.EngineMetrics, start time.Time) (*fd.Set, *Stats, error) {
 	smp := sampler.New(ix, sampler.Config{
 		Threshold:   cfg.EfficiencyThreshold,
 		Threads:     threads,

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hyfd/internal/bitset"
+	"hyfd/internal/pli"
+	"hyfd/internal/relation"
+)
+
+func sampleRel() *relation.Relation {
+	rel := relation.New("t", []string{"a", "b", "c"})
+	rel.AppendRow([]string{"1", "x", "p"})
+	rel.AppendRow([]string{"1", "y", "p"})
+	rel.AppendRow([]string{"2", "x", "q"})
+	rel.AppendRow([]string{"2", "y", "q"})
+	rel.AppendRow([]string{"3", "x", "p"})
+	return rel
+}
+
+func TestPrepareBasic(t *testing.T) {
+	rel := sampleRel()
+	ds, err := Prepare(context.Background(), rel, Options{Threads: 1})
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if ds.Relation() != rel {
+		t.Error("Relation() should return the prepared relation")
+	}
+	if ds.NumRows() != 5 || ds.NumCols() != 3 {
+		t.Errorf("dims = %d×%d, want 5×3", ds.NumRows(), ds.NumCols())
+	}
+	if ds.Threads() != 1 {
+		t.Errorf("Threads() = %d, want 1", ds.Threads())
+	}
+	if ds.NullSemantics() != relation.NullEqualsNull {
+		t.Errorf("NullSemantics() = %v, want null=null", ds.NullSemantics())
+	}
+	if got := len(ds.Plis()); got != 3 {
+		t.Errorf("len(Plis()) = %d, want 3", got)
+	}
+	if ds.PreprocessingTime() <= 0 {
+		t.Error("PreprocessingTime() should be positive")
+	}
+}
+
+func TestPrepareResolvesThreads(t *testing.T) {
+	ds, err := Prepare(context.Background(), sampleRel(), Options{Threads: 0})
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if ds.Threads() <= 0 {
+		t.Errorf("Threads() = %d, want > 0 (resolved GOMAXPROCS)", ds.Threads())
+	}
+}
+
+func TestPrepareNilAndInvalid(t *testing.T) {
+	if _, err := Prepare(context.Background(), nil, Options{}); err == nil {
+		t.Error("Prepare(nil relation) should fail")
+	}
+	bad := relation.New("bad", []string{"a", "a"})
+	if _, err := Prepare(context.Background(), bad, Options{}); err == nil {
+		t.Error("Prepare(invalid relation) should fail validation")
+	}
+}
+
+func TestPrepareCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Prepare(ctx, sampleRel(), Options{}); err == nil {
+		t.Error("Prepare with canceled context should fail")
+	}
+}
+
+func TestPrepareNilContext(t *testing.T) {
+	//hyfdvet:allow ctxflow — exercising the documented nil-ctx defaulting
+	if _, err := Prepare(nil, sampleRel(), Options{}); err != nil {
+		t.Errorf("Prepare(nil ctx) should default to Background: %v", err)
+	}
+}
+
+func TestPrepareMatchesSequentialIndex(t *testing.T) {
+	rel := sampleRel()
+	want := pli.NewIndex(rel, relation.NullNotEqualsNull)
+	ds, err := Prepare(context.Background(), rel, Options{
+		NullSemantics: relation.NullNotEqualsNull,
+		Threads:       4,
+	})
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if !reflect.DeepEqual(want.Plis, ds.Index().Plis) {
+		t.Error("parallel Prepare PLIs differ from sequential build")
+	}
+	if !reflect.DeepEqual(want.Records, ds.Index().Records) {
+		t.Error("parallel Prepare records differ from sequential build")
+	}
+	if !reflect.DeepEqual(want.Order, ds.Index().Order) {
+		t.Error("parallel Prepare order differs from sequential build")
+	}
+}
+
+// TestConcurrentCaches pins the per-run cache contract: caches created from
+// one Dataset are independent, and concurrent use across goroutines is
+// race-clean because intersection never writes into the shared PLIs.
+func TestConcurrentCaches(t *testing.T) {
+	ds, err := Prepare(context.Background(), sampleRel(), Options{})
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	want := make(map[string]int)
+	cold := ds.NewCache()
+	for a := 0; a < ds.NumCols(); a++ {
+		for b := 0; b < ds.NumCols(); b++ {
+			s := bitset.FromIndices(ds.NumCols(), a, b)
+			want[s.Key()] = cold.Card(s)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cache := ds.NewCache()
+			for a := 0; a < ds.NumCols(); a++ {
+				for b := 0; b < ds.NumCols(); b++ {
+					s := bitset.FromIndices(ds.NumCols(), a, b)
+					if got := cache.Card(s); got != want[s.Key()] {
+						errs <- s.String()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for s := range errs {
+		t.Errorf("concurrent Card(%s) diverged from cold cache", s)
+	}
+}

@@ -58,15 +58,15 @@ type Experiment struct {
 }
 
 // Experiments returns the six paper-reproduction experiments plus the
-// preprocessing-speedup probe.
+// preprocessing-speedup and dataset-reuse probes.
 func Experiments(opts Options) []Experiment {
 	return []Experiment{
-		Fig6(opts), Fig7(opts), Table1(opts), Table2(opts), Table3(opts), Fig8(opts), Prep(opts),
+		Fig6(opts), Fig7(opts), Table1(opts), Table2(opts), Table3(opts), Fig8(opts), Prep(opts), DatasetReuse(opts),
 	}
 }
 
 // ByID returns one experiment by its id (fig6, fig7, table1, table2,
-// table3, fig8, prep).
+// table3, fig8, prep, dataset_reuse).
 func ByID(id string, opts Options) (Experiment, error) {
 	for _, e := range Experiments(opts) {
 		if e.ID == id {
@@ -339,6 +339,77 @@ func Prep(opts Options) Experiment {
 				}
 				derived[fmt.Sprintf("prep_seconds_%dt", r.Spec.Threads)] = r.Seconds
 				derived[fmt.Sprintf("prep_speedup_%dt", r.Spec.Threads)] = base.Seconds / r.Seconds
+			}
+			return derived
+		},
+	}
+}
+
+// reuseAlgorithms are the algorithms the dataset-reuse experiment
+// contrasts: the engine itself plus one representative per baseline family
+// (lattice traversal, agree sets, induction).
+var reuseAlgorithms = []string{HyFDName, "Tane", "Fdep"}
+
+// DatasetReuse — cold vs warm discovery: each algorithm runs once from the
+// raw relation (preprocessing included in the measured time) and once over
+// a pre-built Dataset (preprocessing excluded and reported separately).
+// The derived metrics record, per algorithm, both runtimes and the
+// cold/warm speedup (reuse_speedup_<alg>) — the fraction of a run that
+// Dataset sharing amortizes away.
+func DatasetReuse(opts Options) Experiment {
+	const rows = 2000
+	var jobs []Spec
+	for _, alg := range reuseAlgorithms {
+		jobs = append(jobs,
+			Spec{Algorithm: alg, Dataset: "ncvoter", Rows: rows, Metrics: alg == HyFDName},
+			Spec{Algorithm: alg, Dataset: "ncvoter", Rows: rows, Metrics: alg == HyFDName, Warm: true},
+		)
+	}
+	findRun := func(results []Result, alg string, warm bool) *Result {
+		for i := range results {
+			if results[i].Spec.Algorithm == alg && results[i].Spec.Warm == warm && results[i].Err == "" {
+				return &results[i]
+			}
+		}
+		return nil
+	}
+	metricName := func(alg string) string {
+		return strings.ToLower(strings.NewReplacer("-", "_", " ", "_").Replace(alg))
+	}
+	return Experiment{
+		ID:    "dataset_reuse",
+		Title: fmt.Sprintf("Dataset reuse: cold vs warm discovery on ncvoter (%d rows)", rows),
+		Jobs:  jobs,
+		Render: func(w io.Writer, results []Result) {
+			tw := newTable("algorithm", "cold [s]", "warm [s]", "prep excluded [s]", "speedup")
+			for _, alg := range reuseAlgorithms {
+				cold, warm := findRun(results, alg, false), findRun(results, alg, true)
+				if cold == nil || warm == nil {
+					continue
+				}
+				speedup := "-"
+				if warm.Seconds > 0 {
+					speedup = fmt.Sprintf("%.2fx", cold.Seconds/warm.Seconds)
+				}
+				tw.row(alg, timeCell(cold), timeCell(warm),
+					fmt.Sprintf("%.4f", warm.PrepSeconds), speedup)
+			}
+			tw.write(w)
+		},
+		Derive: func(results []Result) map[string]float64 {
+			derived := map[string]float64{}
+			for _, alg := range reuseAlgorithms {
+				cold, warm := findRun(results, alg, false), findRun(results, alg, true)
+				if cold == nil || warm == nil {
+					continue
+				}
+				name := metricName(alg)
+				derived["cold_seconds_"+name] = cold.Seconds
+				derived["warm_seconds_"+name] = warm.Seconds
+				derived["prep_seconds_"+name] = warm.PrepSeconds
+				if warm.Seconds > 0 {
+					derived["reuse_speedup_"+name] = cold.Seconds / warm.Seconds
+				}
 			}
 			return derived
 		},

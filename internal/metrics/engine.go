@@ -49,6 +49,7 @@ type EngineMetrics struct {
 	FDTreeBytes           *Gauge     // hyfd_fdtree_bytes
 	PreprocessingDuration *Histogram // hyfd_preprocessing_duration_seconds
 	PLIClusterSize        *Histogram // hyfd_pli_cluster_size
+	DatasetReuses         *Counter   // hyfd_dataset_reuse_total
 
 	// Per-run outcomes.
 	Runs          *Counter   // hyfd_runs_total
@@ -114,6 +115,8 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 			"Wall-clock duration of PLI and compressed-record construction.", nil),
 		PLIClusterSize: r.Histogram("hyfd_pli_cluster_size",
 			"Size distribution of non-singleton PLI clusters.", SizeBuckets),
+		DatasetReuses: r.Counter("hyfd_dataset_reuse_total",
+			"Warm runs that reused an already-prepared Dataset instead of rebuilding PLIs."),
 
 		Runs: r.Counter("hyfd_runs_total",
 			"Completed discovery runs."),
@@ -148,7 +151,13 @@ func (m *EngineMetrics) Observer() trace.Observer {
 			m.PLIsBuilt.Inc()
 			m.PLIBuildDuration.Observe(ev.Duration.Seconds())
 		case trace.PreprocessingDone:
-			m.PreprocessingDuration.Observe(ev.Duration.Seconds())
+			if ev.Warm {
+				// A reused Dataset did no preprocessing work of its own;
+				// recording its ~zero duration would skew the histogram.
+				m.DatasetReuses.Inc()
+			} else {
+				m.PreprocessingDuration.Observe(ev.Duration.Seconds())
+			}
 		case trace.SamplingRound:
 			m.SamplingRounds.Inc()
 			m.SamplingRoundDuration.Observe(ev.Duration.Seconds())

@@ -74,13 +74,18 @@ type PLIBuilt struct {
 	Duration time.Duration
 }
 
-// PreprocessingDone reports that PLIs and compressed records were built.
+// PreprocessingDone reports that PLIs and compressed records were built —
+// or, for a warm run, that a previously prepared Dataset was reused.
 type PreprocessingDone struct {
 	Rows, Cols int
 	// Threads is the worker count preprocessing ran with.
 	Threads int
-	// Duration is the preprocessing wall-clock time.
+	// Duration is the preprocessing wall-clock time. Warm runs report the
+	// (near-zero) reuse overhead, not the original build cost.
 	Duration time.Duration
+	// Warm is true when the run reused an already-prepared Dataset instead
+	// of building PLIs itself.
+	Warm bool
 }
 
 // SamplingRound reports one completed Sampler invocation (Phase 1).

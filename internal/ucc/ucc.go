@@ -13,10 +13,12 @@
 package ucc
 
 import (
+	"context"
 	"sort"
 
 	"hyfd/internal/algorithms/hitset"
 	"hyfd/internal/bitset"
+	"hyfd/internal/dataset"
 	"hyfd/internal/pli"
 	"hyfd/internal/relation"
 )
@@ -25,12 +27,24 @@ import (
 // in canonical order (ascending cardinality, then lexicographic). maxSize
 // bounds the combination size (0 = unbounded).
 func Discover(rel *relation.Relation, ns relation.NullSemantics, maxSize int) ([]bitset.Set, error) {
-	if err := rel.Validate(); err != nil {
+	//hyfdvet:allow ctxflow — no-context compat shim; DiscoverDataset is the prepared-path variant
+	ds, err := dataset.Prepare(context.Background(), rel, dataset.Options{
+		NullSemantics: ns,
+		Threads:       1,
+	})
+	if err != nil {
 		return nil, err
 	}
-	m := rel.NumCols()
+	return DiscoverDataset(ds, maxSize)
+}
+
+// DiscoverDataset is Discover over an already-prepared Dataset (whose null
+// semantics apply): the shared PLIs are only read, so concurrent calls over
+// one Dataset are race-clean.
+func DiscoverDataset(ds *dataset.Dataset, maxSize int) ([]bitset.Set, error) {
+	m := ds.NumCols()
 	if m == 0 {
-		if rel.NumRows() <= 1 {
+		if ds.NumRows() <= 1 {
 			return []bitset.Set{bitset.New(0)}, nil
 		}
 		return nil, nil
@@ -38,11 +52,10 @@ func Discover(rel *relation.Relation, ns relation.NullSemantics, maxSize int) ([
 	if maxSize <= 0 || maxSize > m {
 		maxSize = m
 	}
-	plis := pli.BuildAll(rel, ns)
-	cache := pli.NewCache(plis, rel.NumRows())
+	cache := ds.NewCache()
 
 	// The empty set is unique iff there is at most one record.
-	if rel.NumRows() <= 1 {
+	if ds.NumRows() <= 1 {
 		return []bitset.Set{bitset.New(m)}, nil
 	}
 
@@ -89,21 +102,34 @@ func Discover(rel *relation.Relation, ns relation.NullSemantics, maxSize int) ([
 // separate every sampled record pair); candidates are validated against
 // the PLIs, and violating pairs sharpen the sample until a fixpoint.
 func DiscoverHybrid(rel *relation.Relation, ns relation.NullSemantics) ([]bitset.Set, error) {
-	if err := rel.Validate(); err != nil {
+	//hyfdvet:allow ctxflow — no-context compat shim; DiscoverHybridDataset is the prepared-path variant
+	ds, err := dataset.Prepare(context.Background(), rel, dataset.Options{
+		NullSemantics: ns,
+		Threads:       1,
+	})
+	if err != nil {
 		return nil, err
 	}
-	m := rel.NumCols()
+	return DiscoverHybridDataset(ds)
+}
+
+// DiscoverHybridDataset is DiscoverHybrid over an already-prepared Dataset
+// (whose null semantics apply). Per-run state — the agree-set sample and
+// the partition cache — is created fresh here, so concurrent calls over one
+// Dataset are race-clean.
+func DiscoverHybridDataset(ds *dataset.Dataset) ([]bitset.Set, error) {
+	m := ds.NumCols()
 	if m == 0 {
-		if rel.NumRows() <= 1 {
+		if ds.NumRows() <= 1 {
 			return []bitset.Set{bitset.New(0)}, nil
 		}
 		return nil, nil
 	}
-	ix := pli.NewIndex(rel, ns)
+	ix := ds.Index()
 	if ix.NumRows <= 1 {
 		return []bitset.Set{bitset.New(m)}, nil
 	}
-	cache := pli.NewCache(ix.Plis, ix.NumRows)
+	cache := ds.NewCache()
 
 	// Sample agree sets: window-1 neighbors inside every PLI cluster.
 	seen := make(map[string]struct{})

@@ -1,0 +1,50 @@
+package hyfd_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"hyfd"
+)
+
+// TestRegistryRoundTrip drives every name reported by Algorithms() through
+// DiscoverWithContext on a small relation: each registered algorithm must
+// dispatch, complete, and agree with HyFD's FD set, and an unregistered
+// name must fail with ErrUnknownAlgorithm.
+func TestRegistryRoundTrip(t *testing.T) {
+	rel, err := hyfd.ReadCSV("class", strings.NewReader(classCSV()), hyfd.CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hyfd.DiscoverContext(context.Background(), rel, hyfd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range hyfd.Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			got, err := hyfd.DiscoverWithContext(context.Background(), name, rel, hyfd.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Set.Equal(want.Set) {
+				t.Fatalf("disagrees with HyFD:\nmissing: %v\nextra: %v",
+					want.Set.Diff(got.Set), got.Set.Diff(want.Set))
+			}
+			if got.Stats == nil || got.Stats.FDCount != got.Set.Size() {
+				t.Fatalf("stats = %+v", got.Stats)
+			}
+		})
+	}
+	t.Run("unknown", func(t *testing.T) {
+		_, err := hyfd.DiscoverWithContext(context.Background(), "NoSuchAlgorithm", rel, hyfd.Options{})
+		if !errors.Is(err, hyfd.ErrUnknownAlgorithm) {
+			t.Fatalf("err = %v, want ErrUnknownAlgorithm", err)
+		}
+		_, err = hyfd.DiscoverWith("NoSuchAlgorithm", rel, hyfd.Options{})
+		if !errors.Is(err, hyfd.ErrUnknownAlgorithm) {
+			t.Fatalf("no-context err = %v, want ErrUnknownAlgorithm", err)
+		}
+	})
+}
