@@ -4,7 +4,7 @@ GO ?= go
 # seconds; override BENCH_JSON_FLAGS for a full-scale artifact run.
 BENCH_JSON_FLAGS ?= -exp table1 -inprocess -timeout 5s -table1-rows 100
 
-.PHONY: all build vet lint test test-invariants race check bench bench-json fuzz-smoke
+.PHONY: all build vet lint test test-invariants race check bench bench-json fuzz-smoke serve-smoke
 
 # Wall-clock budget of the bounded differential-fuzz smoke run.
 FUZZTIME ?= 30s
@@ -52,3 +52,10 @@ bench-json:
 # brute-force reference) for a bounded time on top of the committed corpus.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDiscoverDifferential -fuzztime=$(FUZZTIME) -run '^$$' .
+
+# serve-smoke is the end-to-end daemon exercise: build hyfdd, start it,
+# register a CSV, run one job per mode (fd/afd/ucc), compare the warm FD
+# result byte-for-byte against a cold cmd/hyfd run, scrape /metrics, and
+# assert a clean SIGTERM shutdown.
+serve-smoke:
+	$(GO) test ./cmd/hyfdd -run 'TestServeSmoke|TestUsageErrors' -count=1 -v

@@ -105,7 +105,9 @@ func main() {
 		opts.Metrics = reg
 	}
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, reg)
+		// The deferred shutdown drains in-flight scrapes before the process
+		// exits instead of tearing the listener down mid-response.
+		defer serveMetrics(*metricsAddr, reg)()
 	}
 	em := metrics.NewEngineMetrics(reg)
 	if *progress {
@@ -152,7 +154,7 @@ func main() {
 		Metrics:       reg,
 	})
 	fatalIf(err)
-	result, err := hyfd.DiscoverDatasetWith(ctx, *algorithm, ds, opts)
+	result, err := hyfd.Run(ctx, hyfd.Request{Dataset: ds, Algorithm: *algorithm, Options: opts})
 	fatalIf(err)
 
 	render := func(lhs hyfd.AttrSet) string {
@@ -182,12 +184,13 @@ func main() {
 	}
 
 	if *approx >= 0 {
-		afds, err := hyfd.DiscoverApproximateDataset(ds, hyfd.ApproximateOptions{
-			MaxError: *approx, MaxLhsSize: *maxLhs,
+		ares, err := hyfd.Run(ctx, hyfd.Request{
+			Dataset: ds, Mode: hyfd.ModeAFD, MaxError: *approx,
+			Options: hyfd.Options{MaxLhsSize: *maxLhs},
 		})
 		fatalIf(err)
 		fmt.Printf("\napproximate FDs (g3 <= %g):\n", *approx)
-		for _, a := range afds {
+		for _, a := range ares.AFDs {
 			if *indices {
 				fmt.Printf("  %s\n", a.String())
 			} else {
@@ -197,10 +200,13 @@ func main() {
 	}
 
 	if *uccs {
-		us, err := hyfd.DiscoverUCCsDataset(ds, *maxLhs)
+		ures, err := hyfd.Run(ctx, hyfd.Request{
+			Dataset: ds, Mode: hyfd.ModeUCC,
+			Options: hyfd.Options{MaxLhsSize: *maxLhs},
+		})
 		fatalIf(err)
 		fmt.Println("\nminimal unique column combinations:")
-		for _, u := range us {
+		for _, u := range ures.UCCs {
 			fmt.Printf("  %s\n", render(u))
 		}
 	}
@@ -247,10 +253,11 @@ func main() {
 }
 
 // serveMetrics binds the address and serves the observability endpoints in
-// the background for the remainder of the process lifetime. Binding before
-// discovery starts (and announcing the resolved address on stderr) lets
-// scrapers and the e2e tests attach while the run is still in flight.
-func serveMetrics(addr string, reg *hyfd.MetricsRegistry) {
+// the background. Binding before discovery starts (and announcing the
+// resolved address on stderr) lets scrapers and the e2e tests attach while
+// the run is still in flight. The returned function shuts the listener down
+// gracefully, draining in-flight scrapes for up to two seconds.
+func serveMetrics(addr string, reg *hyfd.MetricsRegistry) (shutdown func()) {
 	ln, err := net.Listen("tcp", addr)
 	fatalIf(err)
 	reg.Gauge("hyfd_up", "Always 1 while the hyfd process serves metrics.").Set(1)
@@ -263,7 +270,20 @@ func serveMetrics(addr string, reg *hyfd.MetricsRegistry) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
-	go func() { fatalIf(http.Serve(ln, mux)) }()
+	srv := &http.Server{Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "hyfd: metrics server:", err)
+		}
+		close(done)
+	}()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	}
 }
 
 // runReport is the -stats-json document: the run's Stats under their stable

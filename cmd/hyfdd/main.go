@@ -1,0 +1,147 @@
+// Command hyfdd is the profiling server: a long-running daemon that keeps
+// datasets prepared in memory and serves FD/AFD/UCC discovery jobs over a
+// versioned HTTP API. Datasets are registered once (POST /v1/datasets) —
+// preprocessing is paid at registration — and any number of concurrent jobs
+// (POST /v1/jobs) then run warm against the shared immutable Dataset.
+//
+// Usage:
+//
+//	hyfdd [flags]
+//
+// Examples:
+//
+//	hyfdd -addr :8080 -workers 4 -queue 64
+//	hyfdd -addr 127.0.0.1:0 -addr-file /tmp/hyfdd.addr -data-dir ./testdata
+//
+//	curl -s localhost:8080/v1/datasets -d '{"name":"t","csv":"a,b\n1,2\n"}'
+//	curl -s localhost:8080/v1/jobs -d '{"dataset":"t","mode":"fd"}'
+//	curl -s localhost:8080/v1/jobs/j-1
+//
+// The daemon exposes /metrics (Prometheus text), /metrics.json, /healthz and
+// /debug/pprof on the same address. On SIGINT/SIGTERM it stops admission,
+// drains in-flight jobs for the -grace window, cancels the rest, optionally
+// flushes a final metrics snapshot (-final-metrics), and exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyfd"
+	"hyfd/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a proper exit code, so deferred cleanups execute.
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("workers", 0, "concurrent jobs: 0 = one per CPU")
+		queue        = flag.Int("queue", 64, "run-queue depth; beyond it admission answers 429")
+		grace        = flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight jobs")
+		deadline     = flag.Duration("default-deadline", 0, "default per-job deadline when the request has no deadline_ms (0 = unbounded)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 rejections")
+		dataDir      = flag.String("data-dir", "", "confine path-based dataset registration to this directory ('' = allow any path)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for harnesses)")
+		finalMetrics = flag.String("final-metrics", "", "write a final JSON metrics snapshot to this file on shutdown (- for stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: hyfdd [flags]")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	// The base context bounds every job; canceling it is the hard stop
+	// behind the graceful drain.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	reg := hyfd.NewMetricsRegistry()
+	srv := server.New(ctx, server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		RetryAfter:      *retryAfter,
+		DataDir:         *dataDir,
+		Metrics:         reg,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyfdd:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "hyfdd: serving on http://%s (workers=%d queue=%d)\n", ln.Addr(), *workers, *queue)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hyfdd:", err)
+			return 1
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "hyfdd: %s — draining (grace %s)\n", s, *grace)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "hyfdd:", err)
+		return 1
+	}
+
+	// Shutdown sequence: stop admission first so /healthz flips and new
+	// work is refused, then close the HTTP listener (in-flight responses
+	// drain), then drain the job pool under the same grace deadline.
+	srv.BeginShutdown()
+	graceCtx, cancelGrace := context.WithTimeout(context.Background(), *grace)
+	defer cancelGrace()
+	if err := httpSrv.Shutdown(graceCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hyfdd: http shutdown:", err)
+	}
+	if err := srv.Shutdown(graceCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hyfdd: grace deadline hit — canceled remaining jobs:", err)
+	}
+
+	if *finalMetrics != "" {
+		if err := writeSnapshot(*finalMetrics, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "hyfdd:", err)
+			return 1
+		}
+	}
+	fmt.Fprintln(os.Stderr, "hyfdd: shutdown complete")
+	return 0
+}
+
+// writeSnapshot flushes the registry's final state as one JSON document.
+func writeSnapshot(path string, reg *hyfd.MetricsRegistry) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	snap := reg.Snapshot()
+	return enc.Encode(snap)
+}

@@ -15,38 +15,39 @@
 //
 //	rel, err := hyfd.ReadCSVFile("data.csv", hyfd.CSVOptions{HasHeader: true})
 //	if err != nil { ... }
-//	result, err := hyfd.Discover(rel, hyfd.Options{})
+//	result, err := hyfd.Run(ctx, hyfd.Request{Relation: rel})
 //	if err != nil { ... }
 //	for _, f := range result.FDs {
 //		fmt.Println(f.Format(rel))
 //	}
 //
+// Run is the single entry point: one request struct selects the input (a
+// raw Relation or a prepared Dataset), the workload (exact FDs, approximate
+// FDs, or unique column combinations), and the algorithm. The historical
+// Discover* functions remain as thin deprecated shims over Run.
+//
 // The companion packages expose the use-case layer the paper motivates:
 // candidate keys, closures, schema normalization (BCNF/3NF) and FD-based
 // data cleansing live in the closure package; synthetic dataset generators
-// mirroring the paper's evaluation data live in datasets.
+// mirroring the paper's evaluation data live in datasets. Command hyfdd
+// serves this API over HTTP as a long-running multi-tenant daemon.
 package hyfd
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"io"
-	"time"
 
 	"hyfd/internal/afd"
-	"hyfd/internal/algorithms"
 	"hyfd/internal/bitset"
 	"hyfd/internal/core"
 	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
 	"hyfd/internal/relation"
-	"hyfd/internal/ucc"
 )
 
-// ErrUnknownAlgorithm is returned (wrapped) by DiscoverWith and
-// DiscoverWithContext when the algorithm name is not registered; test with
-// errors.Is.
+// ErrUnknownAlgorithm is returned (wrapped) by Run and the Discover* shims
+// when the algorithm name is not registered; test with errors.Is.
 var ErrUnknownAlgorithm = errors.New("unknown algorithm")
 
 // Relation is a named relational instance (schema + rows of string cells).
@@ -98,11 +99,12 @@ func NewAttrSet(n int, members ...int) AttrSet {
 	return bitset.FromIndices(n, members...)
 }
 
-// Options parameterizes Discover. The zero value uses the paper's defaults
+// Options parameterizes a Run. The zero value uses the paper's defaults
 // (null=null semantics, the 1 % efficiency threshold, unbounded complete
 // results) and runs with one worker per available CPU.
 type Options struct {
-	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥.
+	// NullSemantics selects ⊥=⊥ (default) or ⊥≠⊥. It applies to cold runs
+	// (Request.Relation); a prepared Dataset's baked-in semantics win.
 	NullSemantics NullSemantics
 	// EfficiencyThreshold is HyFD's only tuning parameter (§10.5); 0 means
 	// the paper's default of 0.01. It controls both when sampling is
@@ -114,7 +116,7 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). Results and trace-event order are identical
 	// for every thread count.
 	Threads int
-	// MaxLhsSize truncates results to LHSs of at most this size
+	// MaxLhsSize truncates results to LHSs (or UCCs) of at most this size
 	// (0 = unbounded). The result is then complete up to that size.
 	MaxLhsSize int
 	// MemoryBudgetBytes arms the memory Guardian (§9); 0 disables it.
@@ -134,23 +136,32 @@ type Options struct {
 // Stats is the telemetry of one discovery run.
 type Stats = core.Stats
 
-// Result bundles the discovered FDs with run telemetry.
+// Result bundles one Run's discoveries with its telemetry. Exactly one of
+// the payload groups is populated, matching the request's Mode: FDs/Set for
+// ModeFD, AFDs for ModeAFD, UCCs for ModeUCC. Stats is always set.
 type Result struct {
 	// FDs holds all discovered minimal, non-trivial FDs in canonical
-	// order.
+	// order (ModeFD).
 	FDs []FD
-	// Set is the same collection as a queryable FDSet.
+	// Set is the same collection as a queryable FDSet (ModeFD).
 	Set *FDSet
+	// AFDs holds the minimal approximate FDs with g3 error at most the
+	// request's MaxError, in canonical order (ModeAFD).
+	AFDs []ApproximateFD
+	// UCCs holds the minimal unique column combinations in canonical order
+	// (ModeUCC).
+	UCCs []AttrSet
 	// Stats reports phase switches, comparisons, validations, and whether
 	// the result is complete.
 	Stats *Stats
 }
 
-// Discover runs HyFD on the relation. It is shorthand for DiscoverContext
-// with a background context.
+// Discover runs HyFD on the relation.
+//
+// Deprecated: Use Run with a Request instead.
 func Discover(rel *Relation, opts Options) (*Result, error) {
-	//hyfdvet:allow ctxflow — public no-context compat shim; DiscoverContext is the primary API
-	return DiscoverContext(context.Background(), rel, opts)
+	//hyfdvet:allow ctxflow — public no-context compat shim; Run is the primary API
+	return Run(context.Background(), Request{Relation: rel, Options: opts})
 }
 
 // DiscoverContext runs HyFD on the relation under the given context.
@@ -158,27 +169,18 @@ func Discover(rel *Relation, opts Options) (*Result, error) {
 // ctx is canceled or its deadline passes, the run returns promptly with an
 // error wrapping ctx.Err() (test with errors.Is against context.Canceled or
 // context.DeadlineExceeded).
+//
+// Deprecated: Use Run with a Request instead.
 func DiscoverContext(ctx context.Context, rel *Relation, opts Options) (*Result, error) {
-	set, stats, err := core.Discover(ctx, rel, core.Config{
-		NullSemantics:       opts.NullSemantics,
-		EfficiencyThreshold: opts.EfficiencyThreshold,
-		Threads:             opts.Threads,
-		MaxLhsSize:          opts.MaxLhsSize,
-		MemoryBudgetBytes:   opts.MemoryBudgetBytes,
-		Observer:            opts.Observer,
-		Metrics:             opts.Metrics,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{FDs: set.All(), Set: set, Stats: stats}, nil
+	return Run(ctx, Request{Relation: rel, Options: opts})
 }
 
-// DiscoverWith runs the named algorithm instead of HyFD; it is shorthand
-// for DiscoverWithContext with a background context.
+// DiscoverWith runs the named algorithm instead of HyFD.
+//
+// Deprecated: Use Run with a Request instead.
 func DiscoverWith(algorithm string, rel *Relation, opts Options) (*Result, error) {
-	//hyfdvet:allow ctxflow — public no-context compat shim; DiscoverWithContext is the primary API
-	return DiscoverWithContext(context.Background(), algorithm, rel, opts)
+	//hyfdvet:allow ctxflow — public no-context compat shim; Run is the primary API
+	return Run(context.Background(), Request{Relation: rel, Algorithm: algorithm, Options: opts})
 }
 
 // DiscoverWithContext runs the named algorithm under the given context; see
@@ -187,49 +189,16 @@ func DiscoverWith(algorithm string, rel *Relation, opts Options) (*Result, error
 // options (thresholds, threads, memory budget, observer) apply only to
 // "HyFD" itself. An unregistered name returns an error wrapping
 // ErrUnknownAlgorithm.
+//
+// Deprecated: Use Run with a Request instead.
 func DiscoverWithContext(ctx context.Context, algorithm string, rel *Relation, opts Options) (*Result, error) {
-	if algorithm == AlgorithmHyFD {
-		return DiscoverContext(ctx, rel, opts)
-	}
-	alg, ok := registry[algorithm]
-	if !ok {
-		return nil, fmt.Errorf("hyfd: %w %q (available: %v)", ErrUnknownAlgorithm, algorithm, Algorithms())
-	}
-	start := time.Now()
-	set, err := algorithms.DiscoverRelation(ctx, alg, rel, algorithms.Config{
-		NullSemantics: opts.NullSemantics,
-		MaxLhsSize:    opts.MaxLhsSize,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return baselineResult(set, rel.NumRows(), rel.NumCols(), opts.MaxLhsSize, false, time.Since(start)), nil
-}
-
-// baselineResult assembles the Stats/Result pair of a baseline run; the
-// baselines don't report the engine's per-phase telemetry, so only the
-// dimensional and outcome fields are populated.
-func baselineResult(set *FDSet, rows, cols, maxLhsSize int, warm bool, total time.Duration) *Result {
-	stats := &Stats{
-		Rows:      rows,
-		Cols:      cols,
-		FDCount:   set.Size(),
-		MaxLhs:    cols,
-		Complete:  true,
-		Warm:      warm,
-		TotalTime: total,
-	}
-	if maxLhsSize > 0 {
-		stats.MaxLhs = maxLhsSize
-		stats.Complete = false
-	}
-	return &Result{FDs: set.All(), Set: set, Stats: stats}
+	return Run(ctx, Request{Relation: rel, Algorithm: algorithm, Options: opts})
 }
 
 // Dataset is an immutable, goroutine-safe preprocessing artifact: the
 // relation handle together with its sorted PLIs, PLI-compressed records,
 // null semantics, and resolved thread count. Produce one with Prepare and
-// fan out any number of concurrent Discover runs over it — HyFD, every
+// fan out any number of concurrent Run calls over it — HyFD, every
 // baseline, approximate FDs, and UCCs all accept a Dataset, and each warm
 // run yields results bit-for-bit identical to a cold run on the underlying
 // relation.
@@ -271,53 +240,27 @@ func Prepare(ctx context.Context, rel *Relation, opts PrepareOptions) (*Dataset,
 }
 
 // DiscoverDataset runs HyFD over a prepared Dataset — a warm run that skips
-// preprocessing entirely. The result is bit-for-bit identical to
-// DiscoverContext on the underlying relation at the same thread count;
-// Stats.Warm is set and Stats.PreprocessingTime covers only the (near-zero)
-// reuse overhead. Because the Dataset is immutable, any number of
-// DiscoverDataset calls may run concurrently over the same value.
+// preprocessing entirely. The result is bit-for-bit identical to a cold run
+// on the underlying relation at the same thread count; Stats.Warm is set
+// and Stats.PreprocessingTime covers only the (near-zero) reuse overhead.
+// Because the Dataset is immutable, any number of warm runs may execute
+// concurrently over the same value.
 //
-// opts.NullSemantics is ignored: the Dataset's baked-in semantics apply.
-// opts.Threads > 0 overrides the sampling/validation worker count; any
-// value <= 0 inherits the Dataset's resolved count.
+// Deprecated: Use Run with a Request instead.
 func DiscoverDataset(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
-	set, stats, err := core.DiscoverDataset(ctx, ds, core.Config{
-		EfficiencyThreshold: opts.EfficiencyThreshold,
-		Threads:             opts.Threads,
-		MaxLhsSize:          opts.MaxLhsSize,
-		MemoryBudgetBytes:   opts.MemoryBudgetBytes,
-		Observer:            opts.Observer,
-		Metrics:             opts.Metrics,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{FDs: set.All(), Set: set, Stats: stats}, nil
+	return Run(ctx, Request{Dataset: ds, Options: opts})
 }
 
 // DiscoverDatasetWith runs the named algorithm over a prepared Dataset; see
-// Algorithms for the available names. "HyFD" dispatches to DiscoverDataset;
-// the baselines run warm against the shared PLIs with per-run intersection
+// Algorithms for the available names. "HyFD" dispatches to the engine; the
+// baselines run warm against the shared PLIs with per-run intersection
 // caches, honoring MaxLhsSize. The Dataset's null semantics apply
 // regardless of opts.NullSemantics. An unregistered name returns an error
 // wrapping ErrUnknownAlgorithm.
+//
+// Deprecated: Use Run with a Request instead.
 func DiscoverDatasetWith(ctx context.Context, algorithm string, ds *Dataset, opts Options) (*Result, error) {
-	if algorithm == AlgorithmHyFD {
-		return DiscoverDataset(ctx, ds, opts)
-	}
-	alg, ok := registry[algorithm]
-	if !ok {
-		return nil, fmt.Errorf("hyfd: %w %q (available: %v)", ErrUnknownAlgorithm, algorithm, Algorithms())
-	}
-	if ds == nil {
-		return nil, errors.New("hyfd: nil dataset")
-	}
-	start := time.Now()
-	set, err := alg.Discover(ctx, ds, algorithms.Config{MaxLhsSize: opts.MaxLhsSize})
-	if err != nil {
-		return nil, err
-	}
-	return baselineResult(set, ds.NumRows(), ds.NumCols(), opts.MaxLhsSize, true, time.Since(start)), nil
+	return Run(ctx, Request{Dataset: ds, Algorithm: algorithm, Options: opts})
 }
 
 // ApproximateFD is an approximate functional dependency with its g3 error:
@@ -325,6 +268,9 @@ func DiscoverDatasetWith(ctx context.Context, algorithm string, ds *Dataset, opt
 type ApproximateFD = afd.AFD
 
 // ApproximateOptions parameterizes DiscoverApproximate.
+//
+// Deprecated: Use Run with Mode ModeAFD instead; MaxError maps onto
+// Request.MaxError and the rest onto Request.Options.
 type ApproximateOptions struct {
 	// MaxError is the g3 threshold ε ∈ [0,1); 0 reproduces exact discovery.
 	MaxError float64
@@ -337,39 +283,72 @@ type ApproximateOptions struct {
 // DiscoverApproximate finds all minimal approximate FDs whose g3 error does
 // not exceed the threshold — the relaxation used on dirty data, where rules
 // hold for almost all records (see the cleansing example).
+//
+// Deprecated: Use Run with Mode ModeAFD instead.
 func DiscoverApproximate(rel *Relation, opts ApproximateOptions) ([]ApproximateFD, error) {
-	return afd.Discover(rel, afd.Options{
-		MaxError:      opts.MaxError,
-		NullSemantics: opts.NullSemantics,
-		MaxLhs:        opts.MaxLhsSize,
+	//hyfdvet:allow ctxflow — public no-context compat shim; Run is the primary API
+	result, err := Run(context.Background(), Request{
+		Relation: rel,
+		Mode:     ModeAFD,
+		MaxError: opts.MaxError,
+		Options:  Options{NullSemantics: opts.NullSemantics, MaxLhsSize: opts.MaxLhsSize},
 	})
+	if err != nil {
+		return nil, err
+	}
+	return result.AFDs, nil
 }
 
 // DiscoverApproximateDataset is DiscoverApproximate over a prepared
 // Dataset, reusing its PLIs instead of re-preprocessing. The Dataset's null
 // semantics apply; opts.NullSemantics is ignored.
+//
+// Deprecated: Use Run with Mode ModeAFD instead.
 func DiscoverApproximateDataset(ds *Dataset, opts ApproximateOptions) ([]ApproximateFD, error) {
-	if ds == nil {
-		return nil, errors.New("hyfd: nil dataset")
-	}
-	return afd.DiscoverDataset(ds, afd.Options{
+	//hyfdvet:allow ctxflow — public no-context compat shim; Run is the primary API
+	result, err := Run(context.Background(), Request{
+		Dataset:  ds,
+		Mode:     ModeAFD,
 		MaxError: opts.MaxError,
-		MaxLhs:   opts.MaxLhsSize,
+		Options:  Options{MaxLhsSize: opts.MaxLhsSize},
 	})
+	if err != nil {
+		return nil, err
+	}
+	return result.AFDs, nil
 }
 
 // DiscoverUCCs returns all minimal unique column combinations (candidate
 // keys of the instance), the sister problem of FD discovery. maxSize
 // bounds the combination size (0 = unbounded).
+//
+// Deprecated: Use Run with Mode ModeUCC instead.
 func DiscoverUCCs(rel *Relation, ns NullSemantics, maxSize int) ([]AttrSet, error) {
-	return ucc.Discover(rel, ns, maxSize)
+	//hyfdvet:allow ctxflow — public no-context compat shim; Run is the primary API
+	result, err := Run(context.Background(), Request{
+		Relation: rel,
+		Mode:     ModeUCC,
+		Options:  Options{NullSemantics: ns, MaxLhsSize: maxSize},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result.UCCs, nil
 }
 
 // DiscoverUCCsDataset is DiscoverUCCs over a prepared Dataset, reusing its
 // PLIs instead of re-preprocessing. The Dataset's null semantics apply.
+//
+// Deprecated: Use Run with Mode ModeUCC instead.
 func DiscoverUCCsDataset(ds *Dataset, maxSize int) ([]AttrSet, error) {
-	if ds == nil {
-		return nil, errors.New("hyfd: nil dataset")
+	//hyfdvet:allow ctxflow — public no-context compat shim; Run is the primary API
+	result, err := Run(context.Background(), Request{
+		Dataset: ds,
+		Mode:    ModeUCC,
+		Options: Options{MaxLhsSize: maxSize},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return ucc.DiscoverDataset(ds, maxSize)
+	return result.UCCs, nil
 }

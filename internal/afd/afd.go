@@ -98,6 +98,15 @@ func Discover(rel *relation.Relation, opts Options) ([]AFD, error) {
 // PLIs are only read, so concurrent calls over one Dataset are race-clean.
 // opts.NullSemantics is ignored — the dataset's baked-in semantics apply.
 func DiscoverDataset(ds *dataset.Dataset, opts Options) ([]AFD, error) {
+	//hyfdvet:allow ctxflow — no-context compat shim; DiscoverDatasetContext is the primary path
+	return DiscoverDatasetContext(context.Background(), ds, opts)
+}
+
+// DiscoverDatasetContext is DiscoverDataset under a caller context.
+// Cancellation is checked once per lattice level and RHS attribute; a
+// canceled context returns an error wrapping ctx.Err() promptly instead of
+// finishing the sweep.
+func DiscoverDatasetContext(ctx context.Context, ds *dataset.Dataset, opts Options) ([]AFD, error) {
 	m := ds.NumCols()
 	if m == 0 {
 		return nil, nil
@@ -114,6 +123,9 @@ func DiscoverDataset(ds *dataset.Dataset, opts Options) ([]AFD, error) {
 		var found []bitset.Set
 		level := []bitset.Set{bitset.New(m)}
 		for len(level) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("afd: discovery aborted: %w", err)
+			}
 			var next []bitset.Set
 			seen := make(map[string]struct{})
 			for _, lhs := range level {

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func servingTestSpec() ServingTraceSpec {
+	return ServingTraceSpec{
+		Seed:       7,
+		Requests:   64,
+		OfferedRPS: 500,
+		Arrival:    "poisson",
+		Datasets: []TraceDataset{
+			{Name: "a", Dataset: "iris", Weight: 0.7},
+			{Name: "b", Dataset: "bridges", Weight: 0.3},
+		},
+		Modes: []TraceMode{
+			{Mode: "fd", Weight: 0.5},
+			{Mode: "ucc", Weight: 0.5},
+		},
+	}
+}
+
+// TestGenTraceDeterministic: the same spec must expand into the identical
+// event sequence — the property that makes replays comparable across runs.
+func TestGenTraceDeterministic(t *testing.T) {
+	spec := servingTestSpec()
+	a, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec generated different traces")
+	}
+	spec.Seed++
+	c, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated the same trace")
+	}
+}
+
+// TestGenTraceArrivals: every arrival process must be non-decreasing in time
+// and hit the offered mean rate to within sampling error.
+func TestGenTraceArrivals(t *testing.T) {
+	for _, arrival := range []string{"uniform", "poisson", "burst"} {
+		spec := servingTestSpec()
+		spec.Arrival = arrival
+		spec.Requests = 2000
+		events, err := GenTrace(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+		last := -1.0
+		for i, ev := range events {
+			if ev.OffsetMs < last {
+				t.Fatalf("%s: offset %d went backwards (%f after %f)", arrival, i, ev.OffsetMs, last)
+			}
+			last = ev.OffsetMs
+			if ev.Dataset == "" || ev.Mode == "" {
+				t.Fatalf("%s: event %d missing dataset/mode", arrival, i)
+			}
+		}
+		// Mean rate over the whole trace: requests / span ≈ OfferedRPS.
+		span := events[len(events)-1].OffsetMs / 1000
+		if span <= 0 {
+			t.Fatalf("%s: zero trace span", arrival)
+		}
+		rate := float64(len(events)-1) / span
+		if rate < spec.OfferedRPS*0.8 || rate > spec.OfferedRPS*1.25 {
+			t.Fatalf("%s: realized mean rate %.1f req/s, offered %.1f", arrival, rate, spec.OfferedRPS)
+		}
+	}
+	spec := servingTestSpec()
+	spec.Arrival = "bogus"
+	if _, err := GenTrace(spec); err == nil {
+		t.Fatal("unknown arrival process must be rejected")
+	}
+}
+
+// TestGenTraceMix: the weighted picks must roughly honor their weights.
+func TestGenTraceMix(t *testing.T) {
+	spec := servingTestSpec()
+	spec.Requests = 4000
+	events, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[ev.Dataset]++
+	}
+	frac := float64(counts["a"]) / float64(len(events))
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("dataset 'a' (weight 0.7) drew %.2f of the trace", frac)
+	}
+}
+
+// TestRunServingEndToEnd: a miniature capacity sweep against the in-process
+// server must produce a well-formed artifact with warm jobs (near-zero
+// per-job prepare time) and deterministic per-dataset result counts.
+func TestRunServingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stands up a server and replays traces")
+	}
+	opts := DefaultServingOptions()
+	opts.Requests = 30
+	opts.LoadsRPS = []float64{200, 1000}
+	opts.Datasets = []TraceDataset{
+		{Name: "small", Dataset: "iris", Weight: 0.6},
+		{Name: "medium", Dataset: "bridges", Weight: 0.4},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	art, err := RunServing(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Levels) != 2 {
+		t.Fatalf("want 2 levels, got %d", len(art.Levels))
+	}
+	for i, l := range art.Levels {
+		if l.Requests != 30 || l.Accepted+l.Rejected != 30 {
+			t.Fatalf("level %d: %d accepted + %d rejected != %d requests", i, l.Accepted, l.Rejected, l.Requests)
+		}
+		if l.Done == 0 {
+			t.Fatalf("level %d: no job finished", i)
+		}
+		if l.Done > 0 && l.LatencyMs.P50 <= 0 {
+			t.Fatalf("level %d: missing latency percentiles: %+v", i, l.LatencyMs)
+		}
+		if len(l.ResultCounts) == 0 {
+			t.Fatalf("level %d: no result counts recorded", i)
+		}
+		// Warm contract: preprocessing was paid at registration, so no job
+		// may report more than a millisecond of prepare time.
+		if l.MaxPrepareNs > int64(time.Millisecond) {
+			t.Fatalf("level %d: warm job reported %dns prepare time", i, l.MaxPrepareNs)
+		}
+	}
+	// Same dataset/mode pair ⇒ same result count on every level (the levels
+	// replay the same workload mix against the same data).
+	for key, n := range art.Levels[0].ResultCounts {
+		if m, ok := art.Levels[1].ResultCounts[key]; ok && m != n {
+			t.Fatalf("%s: level result counts diverge (%d vs %d)", key, n, m)
+		}
+	}
+
+	dir := t.TempDir()
+	path, err := art.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_serving.json" {
+		t.Fatalf("unexpected artifact name %s", path)
+	}
+	var back ServingArtifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "serving" || len(back.Levels) != 2 || back.GoVersion == "" {
+		t.Fatalf("artifact round trip lost fields: %+v", back)
+	}
+}

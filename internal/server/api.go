@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// decodeJSON strictly parses the request body into v: unknown fields and
+// trailing garbage are 400s, so client typos fail loudly instead of being
+// silently ignored.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrBadRequest)
+	}
+	return nil
+}
+
+// handleDatasetCreate registers a dataset: POST /v1/datasets.
+func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
+	var req DatasetRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		s.writeError(w, ErrShuttingDown)
+		return
+	}
+	// Preparation is bounded by the request context: an impatient client
+	// aborts its own registration, not the server.
+	info, err := s.datasets.register(r.Context(), req, s.cfg.DataDir)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.inst.datasets.Set(float64(s.datasets.count()))
+	s.inst.prepSeconds.Observe(float64(info.PrepareNs) / 1e9)
+	w.Header().Set("Location", "/v1/datasets/"+info.Name)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleDatasetList lists registrations: GET /v1/datasets.
+func (s *Server) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}{s.datasets.list()})
+}
+
+// handleDatasetGet returns one registration: GET /v1/datasets/{name}.
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.datasets.lookup(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.info)
+}
+
+// handleDatasetDelete unregisters a dataset: DELETE /v1/datasets/{name}.
+// Jobs already running over it are unaffected (the Dataset is immutable);
+// new jobs naming it get 404.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.datasets.remove(r.PathValue("name")); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.inst.datasets.Set(float64(s.datasets.count()))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleJobCreate submits a job: POST /v1/jobs. Accepted jobs answer 202
+// with the job view and a Location header; a full queue answers 429 with
+// Retry-After. The job runs on the server's context, not the request's —
+// it outlives this POST.
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, err := s.submit(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleJobList lists jobs in submission order: GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs.list()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.view())
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{views})
+}
+
+// handleJobGet returns one job: GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleJobCancel cancels a job: DELETE /v1/jobs/{id}. Queued jobs cancel
+// immediately; running jobs get their context canceled and unwind on the
+// engine's next cancellation check. Canceling a finished job is a no-op.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.cancelJob(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleHealth is the liveness probe: GET /healthz. It reports 503 once
+// shutdown has begun so load balancers stop routing here.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		s.writeError(w, ErrShuttingDown)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Datasets int    `json:"datasets"`
+		Queued   int    `json:"queued"`
+	}{"ok", s.datasets.count(), len(s.queue)})
+}

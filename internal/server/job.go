@@ -1,0 +1,314 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hyfd"
+)
+
+// JobRequest is the JSON body of POST /v1/jobs: one discovery job. It maps
+// 1:1 onto hyfd.Request — dataset resolves to the registered prepared
+// Dataset, and the remaining fields fill Request and its Options.
+type JobRequest struct {
+	// Dataset names a registered dataset (see POST /v1/datasets).
+	Dataset string `json:"dataset"`
+	// Algorithm selects the fd-mode algorithm ("" = HyFD).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Mode is fd (default), afd, or ucc.
+	Mode string `json:"mode,omitempty"`
+	// MaxLhs bounds LHS/UCC sizes (0 = unbounded).
+	MaxLhs int `json:"max_lhs,omitempty"`
+	// MaxError is afd mode's g3 threshold.
+	MaxError float64 `json:"max_error,omitempty"`
+	// Threads overrides the worker count (0 inherits the dataset's).
+	Threads int `json:"threads,omitempty"`
+	// DeadlineMs bounds the job's total time — queue wait included — in
+	// milliseconds (0 = the server's default deadline, if any).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Threshold overrides HyFD's efficiency threshold (0 = paper default).
+	Threshold float64 `json:"threshold,omitempty"`
+	// MemoryBudgetMB arms the memory Guardian (0 = disabled).
+	MemoryBudgetMB int `json:"memory_budget_mb,omitempty"`
+}
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// The job lifecycle: queued → running → done | failed | canceled.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// JobResult is the payload of a finished job. FDs/AFDs/UCCs are rendered
+// against the dataset's column names, one dependency per string, in the
+// engine's canonical (deterministic) order — a warm job's fds lines are
+// byte-identical to a cold cmd/hyfd run on the same input.
+type JobResult struct {
+	FDs   []string    `json:"fds,omitempty"`
+	AFDs  []string    `json:"afds,omitempty"`
+	UCCs  []string    `json:"uccs,omitempty"`
+	Count int         `json:"count"`
+	Stats *hyfd.Stats `json:"stats,omitempty"`
+}
+
+// JobView is the JSON representation of a job (GET /v1/jobs/{id}).
+type JobView struct {
+	ID      string     `json:"id"`
+	Status  JobStatus  `json:"status"`
+	Request JobRequest `json:"request"`
+	// Error is set for failed jobs; its HTTP equivalent is ErrorStatus.
+	Error       string `json:"error,omitempty"`
+	ErrorStatus int    `json:"error_status,omitempty"`
+	// QueueMs and RunMs split the job's latency into queue wait and
+	// execution; RunMs excludes preprocessing, which the dataset paid at
+	// registration.
+	QueueMs       float64    `json:"queue_ms"`
+	RunMs         float64    `json:"run_ms"`
+	CreatedUnixMs int64      `json:"created_unix_ms"`
+	Result        *JobResult `json:"result,omitempty"`
+}
+
+// job is the server-internal job record.
+type job struct {
+	id  string
+	seq int
+
+	// ctx governs the run: derived from the server's base context, with
+	// the job deadline applied from submission time (queue wait counts).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	ds      *hyfd.Dataset // resolved at admission; immutable
+	request JobRequest
+	req     hyfd.Request // the mapped hyfd request (sans context)
+
+	mu        sync.Mutex
+	status    JobStatus
+	err       error
+	result    *JobResult
+	createdAt time.Time
+	startedAt time.Time
+	doneAt    time.Time
+	done      chan struct{} // closed on reaching a terminal status
+}
+
+// view snapshots the job for JSON rendering.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:            j.id,
+		Status:        j.status,
+		Request:       j.request,
+		CreatedUnixMs: j.createdAt.UnixMilli(),
+		Result:        j.result,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+		v.ErrorStatus = StatusFor(j.err)
+	}
+	switch j.status {
+	case StatusQueued:
+		// still waiting; QueueMs grows until a worker picks the job up
+		v.QueueMs = time.Since(j.createdAt).Seconds() * 1000
+	case StatusRunning:
+		v.QueueMs = j.startedAt.Sub(j.createdAt).Seconds() * 1000
+		v.RunMs = time.Since(j.startedAt).Seconds() * 1000
+	default:
+		if !j.startedAt.IsZero() {
+			v.QueueMs = j.startedAt.Sub(j.createdAt).Seconds() * 1000
+			v.RunMs = j.doneAt.Sub(j.startedAt).Seconds() * 1000
+		} else {
+			v.QueueMs = j.doneAt.Sub(j.createdAt).Seconds() * 1000
+		}
+	}
+	return v
+}
+
+// transition moves the job to a terminal status exactly once and wakes
+// waiters; later transitions (e.g. a cancel racing a completion) are no-ops.
+func (j *job) transition(status JobStatus, result *JobResult, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		return false
+	}
+	j.status = status
+	j.result = result
+	j.err = err
+	switch status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		j.doneAt = time.Now()
+		close(j.done)
+	}
+	return true
+}
+
+// markRunning records the queue-to-run handoff; it reports false when the
+// job was canceled while queued.
+func (j *job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.startedAt = time.Now()
+	return true
+}
+
+// jobStore holds every job the server has accepted, by id.
+type jobStore struct {
+	mu   sync.RWMutex
+	jobs map[string]*job
+	next int
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job)}
+}
+
+// add assigns the next id and stores the job.
+func (s *jobStore) add(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	j.seq = s.next
+	j.id = "j-" + strconv.Itoa(s.next)
+	s.jobs[j.id] = j
+}
+
+func (s *jobStore) get(id string) (*job, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// list snapshots all jobs in submission order.
+func (s *jobStore) list() []*job {
+	s.mu.RLock()
+	out := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].seq < out[k].seq })
+	return out
+}
+
+// running snapshots the jobs currently in StatusRunning.
+func (s *jobStore) running() []*job {
+	var out []*job
+	for _, j := range s.list() {
+		j.mu.Lock()
+		r := j.status == StatusRunning
+		j.mu.Unlock()
+		if r {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// renderResult formats a finished hyfd.Result against the relation's column
+// names, in the engine's canonical order.
+func renderResult(res *hyfd.Result, rel *hyfd.Relation) *JobResult {
+	out := &JobResult{Stats: res.Stats}
+	switch {
+	case res.Set != nil:
+		out.FDs = make([]string, 0, len(res.FDs))
+		for _, f := range res.FDs {
+			out.FDs = append(out.FDs, f.Format(rel))
+		}
+		out.Count = len(out.FDs)
+	case res.AFDs != nil:
+		out.AFDs = make([]string, 0, len(res.AFDs))
+		for _, a := range res.AFDs {
+			out.AFDs = append(out.AFDs, fmt.Sprintf("%s -> %s (g3=%.4f)", renderAttrs(a.Lhs, rel), rel.Columns[a.Rhs], a.Error))
+		}
+		out.Count = len(out.AFDs)
+	default:
+		out.UCCs = make([]string, 0, len(res.UCCs))
+		for _, u := range res.UCCs {
+			out.UCCs = append(out.UCCs, renderAttrs(u, rel))
+		}
+		out.Count = len(out.UCCs)
+	}
+	return out
+}
+
+// renderAttrs formats an attribute set as [col1,col2], matching cmd/hyfd's
+// rendering.
+func renderAttrs(set hyfd.AttrSet, rel *hyfd.Relation) string {
+	var names []string
+	set.ForEach(func(a int) bool {
+		names = append(names, rel.Columns[a])
+		return true
+	})
+	return "[" + strings.Join(names, ",") + "]"
+}
+
+// mapRequest translates the wire JobRequest into a hyfd.Request over the
+// resolved dataset — the 1:1 mapping the API was designed around.
+func mapRequest(req JobRequest, ds *hyfd.Dataset) (hyfd.Request, error) {
+	mode, err := hyfd.ParseMode(req.Mode)
+	if err != nil {
+		return hyfd.Request{}, err
+	}
+	// Validate the algorithm at admission, not at run time: a job that can
+	// only fail should be a 400 on POST, not a failed job in the store.
+	if req.Algorithm != "" {
+		if mode != hyfd.ModeFD {
+			return hyfd.Request{}, fmt.Errorf("hyfd: %w %q (mode %q has a single built-in strategy; leave algorithm empty)",
+				hyfd.ErrUnknownAlgorithm, req.Algorithm, mode)
+		}
+		if !algorithmKnown(req.Algorithm) {
+			return hyfd.Request{}, fmt.Errorf("hyfd: %w %q (available: %v)",
+				hyfd.ErrUnknownAlgorithm, req.Algorithm, hyfd.Algorithms())
+		}
+	}
+	return hyfd.Request{
+		Dataset:   ds,
+		Algorithm: req.Algorithm,
+		Mode:      mode,
+		MaxError:  req.MaxError,
+		Options: hyfd.Options{
+			EfficiencyThreshold: req.Threshold,
+			Threads:             req.Threads,
+			MaxLhsSize:          req.MaxLhs,
+			MemoryBudgetBytes:   req.MemoryBudgetMB << 20,
+		},
+	}, nil
+}
+
+// algorithmKnown reports whether the name is a registered algorithm.
+func algorithmKnown(name string) bool {
+	for _, a := range hyfd.Algorithms() {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// jobCanceled reports whether the error is a cancellation rather than a
+// deadline or a genuine failure.
+func jobCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,394 @@
+// Package server implements hyfdd's multi-tenant profiling service: a
+// long-running HTTP daemon that registers datasets by name (preparing each
+// exactly once into the immutable Dataset layer) and serves concurrent
+// FD/AFD/UCC discovery jobs over a versioned JSON API.
+//
+// # Architecture
+//
+// Four pieces compose the server (DESIGN.md §2f):
+//
+//   - the dataset registry (registry.go): name → prepared hyfd.Dataset,
+//     preprocessing paid once at registration, shared read-only by every job;
+//   - the job store and bounded run queue (job.go, this file): admission
+//     control rejects with 429 + Retry-After when the queue is full, a
+//     fixed-size worker pool executes jobs, and per-job deadlines (counted
+//     from submission, queue wait included) and cancellation are threaded
+//     onto the engine's context path;
+//   - the v1 HTTP API (api.go): /v1/datasets, /v1/jobs, plus the process's
+//     /metrics, /metrics.json, and /debug/pprof surfaces on the same mux;
+//   - the error table (errors.go): every error sentinel maps onto exactly
+//     one HTTP status code in StatusFor.
+//
+// # Lifecycle
+//
+// New(ctx, cfg) builds the server; Start launches the worker pool;
+// Shutdown(ctx) stops admission, cancels jobs still queued, drains in-flight
+// jobs until ctx's grace deadline, cancels the stragglers, and joins every
+// worker. The base context passed to New is the outer bound of every job:
+// canceling it aborts all work.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"hyfd"
+	"hyfd/internal/metrics"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (<= 0: one per
+	// available CPU). Each job may itself run multi-threaded; Threads on
+	// the job request controls that.
+	Workers int
+	// QueueDepth bounds the run queue: jobs beyond the workers' capacity
+	// wait here, and admission control rejects with 429 once it is full
+	// (<= 0: 64).
+	QueueDepth int
+	// DefaultDeadline bounds jobs that don't carry their own deadline_ms
+	// (0 = unbounded).
+	DefaultDeadline time.Duration
+	// RetryAfter is the hint returned with 429 rejections (0 = 1s).
+	RetryAfter time.Duration
+	// DataDir, when set, confines path-based dataset registration to this
+	// directory.
+	DataDir string
+	// Metrics receives the server's hyfdd_* instrument families and is
+	// shared with the engine's per-job hyfd_* telemetry; nil runs the
+	// server unmetered.
+	Metrics *hyfd.MetricsRegistry
+}
+
+// Server is one hyfdd instance. Create with New, mount Handler, call Start,
+// and Shutdown to stop.
+type Server struct {
+	base     context.Context
+	cfg      Config
+	datasets *dsRegistry
+	jobs     *jobStore
+
+	queue    chan *job
+	stop     chan struct{} // closed by Shutdown: workers stop picking up work
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	closing bool
+
+	inst serverMetrics
+}
+
+// serverMetrics bundles the server's instruments; all fields are non-nil
+// when a registry was configured, nil otherwise (instrument methods are
+// nil-receiver safe).
+type serverMetrics struct {
+	jobsTotal     *metrics.CounterVec // hyfdd_jobs_total{status}
+	rejected      *metrics.Counter    // hyfdd_jobs_rejected_total
+	queueDepth    *metrics.Gauge      // hyfdd_queue_depth
+	queuePeak     *metrics.Gauge      // hyfdd_queue_depth_peak
+	running       *metrics.Gauge      // hyfdd_jobs_running
+	datasets      *metrics.Gauge      // hyfdd_datasets
+	queueWait     *metrics.Histogram  // hyfdd_job_queue_wait_seconds
+	runSeconds    *metrics.HistogramVec
+	prepSeconds   *metrics.Histogram
+	up            *metrics.Gauge
+	httpRequests  *metrics.CounterVec // hyfdd_http_requests_total{code}
+	peakDepthSeen int64               // guarded by Server.mu
+}
+
+// New builds a server over the base context: every job context derives from
+// it, so canceling ctx aborts all current and future work.
+func New(ctx context.Context, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		base:     ctx,
+		cfg:      cfg,
+		datasets: newDSRegistry(),
+		jobs:     newJobStore(),
+		queue:    make(chan *job, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.inst = serverMetrics{
+			jobsTotal:    reg.CounterVec("hyfdd_jobs_total", "Jobs by terminal status.", "status"),
+			rejected:     reg.Counter("hyfdd_jobs_rejected_total", "Jobs rejected by admission control (429)."),
+			queueDepth:   reg.Gauge("hyfdd_queue_depth", "Jobs currently waiting in the run queue."),
+			queuePeak:    reg.Gauge("hyfdd_queue_depth_peak", "Highest queue depth observed."),
+			running:      reg.Gauge("hyfdd_jobs_running", "Jobs currently executing."),
+			datasets:     reg.Gauge("hyfdd_datasets", "Registered datasets."),
+			queueWait:    reg.Histogram("hyfdd_job_queue_wait_seconds", "Queue wait per job.", metrics.ExpBuckets(0.0001, 4, 12)),
+			runSeconds:   reg.HistogramVec("hyfdd_job_run_seconds", "Execution time per job.", metrics.ExpBuckets(0.0001, 4, 12), "mode"),
+			prepSeconds:  reg.Histogram("hyfdd_dataset_prepare_seconds", "One-off preparation time per registered dataset.", metrics.ExpBuckets(0.0001, 4, 12)),
+			up:           reg.Gauge("hyfdd_up", "Always 1 while hyfdd serves."),
+			httpRequests: reg.CounterVec("hyfdd_http_requests_total", "HTTP responses by status code.", "code"),
+		}
+		s.inst.up.Set(1)
+	}
+	return s
+}
+
+// Start launches the worker pool; workers run until Shutdown (or the base
+// context) stops them.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		//hyfdvet:allow goroutine — pool workers intentionally outlive Start; Shutdown joins them via wg.Wait
+		go s.worker()
+	}
+}
+
+// worker executes queued jobs until the stop channel closes or the base
+// context is canceled.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.base.Done():
+			return
+		case j := <-s.queue:
+			s.inst.queueDepth.Add(-1)
+			s.execute(j)
+		}
+	}
+}
+
+// submit admits one job: resolve the dataset, map the request, apply the
+// deadline, and enqueue — or reject if the queue is full or the server is
+// closing. The returned job is already in the store.
+func (s *Server) submit(req JobRequest) (*job, error) {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		return nil, ErrShuttingDown
+	}
+	entry, err := s.datasets.lookup(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := mapRequest(req, entry.ds)
+	if err != nil {
+		return nil, err
+	}
+
+	jctx, cancel := context.WithCancel(s.base)
+	if req.DeadlineMs > 0 {
+		jctx, cancel = context.WithDeadline(s.base, time.Now().Add(time.Duration(req.DeadlineMs)*time.Millisecond))
+	} else if s.cfg.DefaultDeadline > 0 {
+		jctx, cancel = context.WithDeadline(s.base, time.Now().Add(s.cfg.DefaultDeadline))
+	}
+	j := &job{
+		ctx:       jctx,
+		cancel:    cancel,
+		ds:        entry.ds,
+		request:   req,
+		req:       hreq,
+		status:    StatusQueued,
+		createdAt: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	// Admission control: claim a queue slot or reject immediately — a full
+	// queue must never block the HTTP handler.
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.inst.rejected.Inc()
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	s.jobs.add(j)
+	s.noteQueued()
+	return j, nil
+}
+
+// noteQueued maintains the queue depth gauges.
+func (s *Server) noteQueued() {
+	depth := int64(len(s.queue))
+	s.inst.queueDepth.Set(float64(depth))
+	s.mu.Lock()
+	if depth > s.inst.peakDepthSeen {
+		s.inst.peakDepthSeen = depth
+		s.inst.queuePeak.Set(float64(depth))
+	}
+	s.mu.Unlock()
+}
+
+// execute runs one dequeued job to a terminal state.
+func (s *Server) execute(j *job) {
+	defer j.cancel()
+	if !j.markRunning() {
+		// Canceled while queued; nothing to run.
+		return
+	}
+	s.inst.running.Add(1)
+	defer s.inst.running.Add(-1)
+	j.mu.Lock()
+	wait := j.startedAt.Sub(j.createdAt)
+	j.mu.Unlock()
+	s.inst.queueWait.Observe(wait.Seconds())
+
+	req := j.req
+	req.Options.Metrics = s.cfg.Metrics
+	start := time.Now()
+	res, err := hyfd.Run(j.ctx, req)
+	elapsed := time.Since(start)
+	mode := string(j.req.Mode)
+	s.inst.runSeconds.With(mode).Observe(elapsed.Seconds())
+
+	switch {
+	case err == nil:
+		if j.transition(StatusDone, renderResult(res, j.ds.Relation()), nil) {
+			s.inst.jobsTotal.With(string(StatusDone)).Inc()
+		}
+	case jobCanceled(err):
+		if j.transition(StatusCanceled, nil, err) {
+			s.inst.jobsTotal.With(string(StatusCanceled)).Inc()
+		}
+	default:
+		if j.transition(StatusFailed, nil, err) {
+			s.inst.jobsTotal.With(string(StatusFailed)).Inc()
+		}
+	}
+}
+
+// cancelJob cancels a job in any non-terminal state: queued jobs transition
+// immediately (the worker skips them on dequeue), running jobs get their
+// context canceled and transition when the engine unwinds.
+func (s *Server) cancelJob(id string) (*job, error) {
+	j, err := s.jobs.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if j.transition(StatusCanceled, nil, context.Canceled) {
+		s.inst.jobsTotal.With(string(StatusCanceled)).Inc()
+	}
+	j.cancel()
+	return j, nil
+}
+
+// BeginShutdown gates admission: subsequent submissions fail with
+// ErrShuttingDown (503). It is idempotent and safe before Shutdown.
+func (s *Server) BeginShutdown() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server: admission closes, jobs still queued are
+// canceled, in-flight jobs run until ctx's deadline, stragglers are
+// canceled, and every worker is joined before it returns. The error is
+// ctx.Err() when the grace deadline forced cancellations, nil on a clean
+// drain. Shutdown is idempotent; a second call just waits for the workers
+// again.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginShutdown()
+	s.stopOnce.Do(func() { close(s.stop) })
+
+	// Cancel everything still queued: shutdown drains in-flight work, not
+	// the backlog. (A worker may race us to a queued job and run it; that
+	// job is then in-flight and drains below.)
+drain:
+	for {
+		select {
+		case j := <-s.queue:
+			s.inst.queueDepth.Add(-1)
+			if j.transition(StatusCanceled, nil, fmt.Errorf("%w: %w", ErrShuttingDown, context.Canceled)) {
+				s.inst.jobsTotal.With(string(StatusCanceled)).Inc()
+			}
+			j.cancel()
+		default:
+			break drain
+		}
+	}
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	var err error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+		for _, j := range s.jobs.running() {
+			j.cancel()
+		}
+		<-workersDone
+	}
+	s.inst.up.Set(0)
+	return err
+}
+
+// retryAfter renders the 429 Retry-After hint in whole seconds (min 1).
+func (s *Server) retryAfter() string {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// Handler returns the server's HTTP mux: the versioned job API plus the
+// process observability surfaces.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDelete)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if reg := s.cfg.Metrics; reg != nil {
+		mux.Handle("GET /metrics", metrics.Handler(reg))
+		mux.Handle("GET /metrics.json", metrics.JSONHandler(reg))
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s.countRequests(mux)
+}
+
+// countRequests wraps the mux with the hyfdd_http_requests_total{code}
+// counter.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(cw, r)
+		s.inst.httpRequests.With(strconv.Itoa(cw.code)).Inc()
+	})
+}
+
+// codeWriter records the response status code.
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -14,6 +14,7 @@ package ucc
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"hyfd/internal/algorithms/hitset"
@@ -42,6 +43,14 @@ func Discover(rel *relation.Relation, ns relation.NullSemantics, maxSize int) ([
 // semantics apply): the shared PLIs are only read, so concurrent calls over
 // one Dataset are race-clean.
 func DiscoverDataset(ds *dataset.Dataset, maxSize int) ([]bitset.Set, error) {
+	//hyfdvet:allow ctxflow — no-context compat shim; DiscoverDatasetContext is the primary path
+	return DiscoverDatasetContext(context.Background(), ds, maxSize)
+}
+
+// DiscoverDatasetContext is DiscoverDataset under a caller context.
+// Cancellation is checked once per lattice level; a canceled context returns
+// an error wrapping ctx.Err() promptly instead of finishing the sweep.
+func DiscoverDatasetContext(ctx context.Context, ds *dataset.Dataset, maxSize int) ([]bitset.Set, error) {
 	m := ds.NumCols()
 	if m == 0 {
 		if ds.NumRows() <= 1 {
@@ -77,6 +86,9 @@ func DiscoverDataset(ds *dataset.Dataset, maxSize int) ([]bitset.Set, error) {
 		level = append(level, cand{attrs: bitset.FromIndices(m, a), last: a})
 	}
 	for len(level) > 0 && level[0].attrs.Cardinality() <= maxSize {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ucc: discovery aborted: %w", err)
+		}
 		var next []cand
 		for _, c := range level {
 			if dominated(c.attrs) {

@@ -1,0 +1,277 @@
+package hyfd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"hyfd/internal/afd"
+	"hyfd/internal/algorithms"
+	"hyfd/internal/core"
+	"hyfd/internal/fd"
+	"hyfd/internal/ucc"
+)
+
+// Mode selects the discovery workload of a Run request: exact functional
+// dependencies, approximate functional dependencies (g3 error), or unique
+// column combinations.
+type Mode string
+
+// The three discovery workloads.
+const (
+	ModeFD  Mode = "fd"
+	ModeAFD Mode = "afd"
+	ModeUCC Mode = "ucc"
+)
+
+// ErrUnknownMode is returned (wrapped) by Run and ParseMode when the mode
+// string names none of the workloads; test with errors.Is.
+var ErrUnknownMode = errors.New("unknown mode")
+
+// Modes lists the valid mode names.
+func Modes() []string { return []string{string(ModeFD), string(ModeAFD), string(ModeUCC)} }
+
+// ParseMode normalizes a mode string ("" and "fd" are exact FD discovery;
+// matching is case-insensitive). Unknown strings return an error wrapping
+// ErrUnknownMode.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(strings.ToLower(s)) {
+	case "", ModeFD:
+		return ModeFD, nil
+	case ModeAFD:
+		return ModeAFD, nil
+	case ModeUCC:
+		return ModeUCC, nil
+	}
+	return "", fmt.Errorf("hyfd: %w %q (available: %s)", ErrUnknownMode, s, strings.Join(Modes(), ", "))
+}
+
+// Request is the single request-struct entry point's input: one discovery
+// job, fully described by data. It is the in-process twin of the hyfdd
+// server's JSON JobRequest — every JSON field maps onto exactly one field
+// here.
+type Request struct {
+	// Dataset is the prepared input (see Prepare). Exactly one of Dataset
+	// and Relation must be set; a Dataset makes the run warm (preprocessing
+	// already paid), and its baked-in null semantics apply regardless of
+	// Options.NullSemantics.
+	Dataset *Dataset
+	// Relation is the raw input; Run preprocesses it first (a cold run).
+	Relation *Relation
+	// Algorithm names the discovery algorithm for ModeFD ("" = HyFD; see
+	// Algorithms for the baselines). Modes afd and ucc have a single
+	// built-in strategy: any non-empty Algorithm is rejected there with an
+	// error wrapping ErrUnknownAlgorithm.
+	Algorithm string
+	// Mode selects the workload ("" = ModeFD).
+	Mode Mode
+	// MaxError is ModeAFD's g3 threshold ε ∈ [0,1); 0 reproduces exact
+	// discovery. Ignored by the other modes.
+	MaxError float64
+	// Options carries the per-run tuning shared by all modes: MaxLhsSize
+	// bounds LHS/UCC sizes everywhere; Threads, EfficiencyThreshold,
+	// MemoryBudgetBytes, Observer, and Metrics apply to the HyFD engine.
+	Options Options
+}
+
+// Run executes one discovery request under the given context — the single
+// entry point that subsumes the Discover* family. The context is honored in
+// every mode: cancellation or a deadline aborts the run promptly with an
+// error wrapping ctx.Err().
+//
+// The result carries FDs/Set (ModeFD), AFDs (ModeAFD), or UCCs (ModeUCC),
+// plus Stats in every mode. Results are bit-for-bit deterministic for every
+// thread count, and a warm run (Request.Dataset) returns results identical
+// to a cold run (Request.Relation) on the same data.
+func Run(ctx context.Context, req Request) (*Result, error) {
+	mode, err := ParseMode(string(req.Mode))
+	if err != nil {
+		return nil, err
+	}
+	if req.Dataset == nil && req.Relation == nil {
+		return nil, errors.New("hyfd: request needs a Dataset or a Relation")
+	}
+	if req.Dataset != nil && req.Relation != nil {
+		return nil, errors.New("hyfd: request must set exactly one of Dataset and Relation")
+	}
+	switch mode {
+	case ModeFD:
+		return runFD(ctx, req)
+	case ModeAFD:
+		return runAFD(ctx, req)
+	default:
+		return runUCC(ctx, req)
+	}
+}
+
+// runFD dispatches exact FD discovery: the HyFD engine or a named baseline,
+// cold (Relation) or warm (Dataset).
+func runFD(ctx context.Context, req Request) (*Result, error) {
+	opts := req.Options
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = AlgorithmHyFD
+	}
+	if algorithm == AlgorithmHyFD {
+		var (
+			set   *FDSet
+			stats *Stats
+			err   error
+		)
+		if req.Dataset != nil {
+			set, stats, err = core.DiscoverDataset(ctx, req.Dataset, core.Config{
+				EfficiencyThreshold: opts.EfficiencyThreshold,
+				Threads:             opts.Threads,
+				MaxLhsSize:          opts.MaxLhsSize,
+				MemoryBudgetBytes:   opts.MemoryBudgetBytes,
+				Observer:            opts.Observer,
+				Metrics:             opts.Metrics,
+			})
+		} else {
+			set, stats, err = core.Discover(ctx, req.Relation, core.Config{
+				NullSemantics:       opts.NullSemantics,
+				EfficiencyThreshold: opts.EfficiencyThreshold,
+				Threads:             opts.Threads,
+				MaxLhsSize:          opts.MaxLhsSize,
+				MemoryBudgetBytes:   opts.MemoryBudgetBytes,
+				Observer:            opts.Observer,
+				Metrics:             opts.Metrics,
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{FDs: set.All(), Set: set, Stats: stats}, nil
+	}
+	alg, ok := registry[algorithm]
+	if !ok {
+		return nil, fmt.Errorf("hyfd: %w %q (available: %v)", ErrUnknownAlgorithm, algorithm, Algorithms())
+	}
+	start := time.Now()
+	var (
+		set *fd.Set
+		err error
+	)
+	if req.Dataset != nil {
+		set, err = alg.Discover(ctx, req.Dataset, algorithms.Config{MaxLhsSize: opts.MaxLhsSize})
+		if err != nil {
+			return nil, err
+		}
+		return baselineResult(set, req.Dataset.NumRows(), req.Dataset.NumCols(), opts.MaxLhsSize, true, time.Since(start)), nil
+	}
+	set, err = algorithms.DiscoverRelation(ctx, alg, req.Relation, algorithms.Config{
+		NullSemantics: opts.NullSemantics,
+		MaxLhsSize:    opts.MaxLhsSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return baselineResult(set, req.Relation.NumRows(), req.Relation.NumCols(), opts.MaxLhsSize, false, time.Since(start)), nil
+}
+
+// runAFD dispatches approximate FD discovery (g3 ≤ Request.MaxError).
+func runAFD(ctx context.Context, req Request) (*Result, error) {
+	if req.Algorithm != "" {
+		return nil, fmt.Errorf("hyfd: %w %q (mode %q has a single built-in strategy; leave Algorithm empty)",
+			ErrUnknownAlgorithm, req.Algorithm, ModeAFD)
+	}
+	ds, warm, err := requestDataset(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	afds, err := afd.DiscoverDatasetContext(ctx, ds, afd.Options{
+		MaxError: req.MaxError,
+		MaxLhs:   req.Options.MaxLhsSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		AFDs:  afds,
+		Stats: auxiliaryStats(ds, req.Options.MaxLhsSize, warm, time.Since(start)),
+	}, nil
+}
+
+// runUCC dispatches unique column combination discovery.
+func runUCC(ctx context.Context, req Request) (*Result, error) {
+	if req.Algorithm != "" {
+		return nil, fmt.Errorf("hyfd: %w %q (mode %q has a single built-in strategy; leave Algorithm empty)",
+			ErrUnknownAlgorithm, req.Algorithm, ModeUCC)
+	}
+	ds, warm, err := requestDataset(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	uccs, err := ucc.DiscoverDatasetContext(ctx, ds, req.Options.MaxLhsSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		UCCs:  uccs,
+		Stats: auxiliaryStats(ds, req.Options.MaxLhsSize, warm, time.Since(start)),
+	}, nil
+}
+
+// requestDataset resolves the request's input to a prepared Dataset,
+// preparing the Relation on the spot for cold runs; warm reports whether the
+// caller supplied the Dataset (and so excluded preprocessing from the run).
+func requestDataset(ctx context.Context, req Request) (*Dataset, bool, error) {
+	if req.Dataset != nil {
+		return req.Dataset, true, nil
+	}
+	ds, err := Prepare(ctx, req.Relation, PrepareOptions{
+		NullSemantics: req.Options.NullSemantics,
+		Threads:       req.Options.Threads,
+		Observer:      req.Options.Observer,
+		Metrics:       req.Options.Metrics,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return ds, false, nil
+}
+
+// auxiliaryStats assembles the Stats of an afd/ucc run: the dimensional and
+// outcome fields, without the HyFD engine's per-phase telemetry.
+func auxiliaryStats(ds *Dataset, maxLhsSize int, warm bool, total time.Duration) *Stats {
+	stats := &Stats{
+		Rows:      ds.NumRows(),
+		Cols:      ds.NumCols(),
+		MaxLhs:    ds.NumCols(),
+		Complete:  true,
+		Warm:      warm,
+		TotalTime: total,
+	}
+	if !warm {
+		stats.PreprocessingTime = ds.PreprocessingTime()
+	}
+	if maxLhsSize > 0 {
+		stats.MaxLhs = maxLhsSize
+		stats.Complete = false
+	}
+	return stats
+}
+
+// baselineResult assembles the Stats/Result pair of a baseline run; the
+// baselines don't report the engine's per-phase telemetry, so only the
+// dimensional and outcome fields are populated.
+func baselineResult(set *FDSet, rows, cols, maxLhsSize int, warm bool, total time.Duration) *Result {
+	stats := &Stats{
+		Rows:      rows,
+		Cols:      cols,
+		FDCount:   set.Size(),
+		MaxLhs:    cols,
+		Complete:  true,
+		Warm:      warm,
+		TotalTime: total,
+	}
+	if maxLhsSize > 0 {
+		stats.MaxLhs = maxLhsSize
+		stats.Complete = false
+	}
+	return &Result{FDs: set.All(), Set: set, Stats: stats}
+}
