@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -42,6 +43,7 @@ import (
 
 	"hyfd"
 	"hyfd/internal/closure"
+	"hyfd/internal/logging"
 	"hyfd/internal/metrics"
 )
 
@@ -68,6 +70,8 @@ func main() {
 		uccs        = flag.Bool("uccs", false, "also report minimal unique column combinations")
 		keys        = flag.Bool("keys", false, "also report candidate keys derived from the FDs")
 		bcnf        = flag.Bool("bcnf", false, "also report a BCNF decomposition derived from the FDs")
+		logLevel    = flag.String("log-level", "info", "log level for process diagnostics on stderr: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text, json")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -77,6 +81,11 @@ func main() {
 	}
 	if *threads < 0 {
 		fmt.Fprintf(os.Stderr, "hyfd: invalid -threads %d: must be 0 (all CPUs) or positive\n", *threads)
+		os.Exit(2)
+	}
+	logger, err := logging.New(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyfd:", err)
 		os.Exit(2)
 	}
 	workers := *threads
@@ -107,7 +116,7 @@ func main() {
 	if *metricsAddr != "" {
 		// The deferred shutdown drains in-flight scrapes before the process
 		// exits instead of tearing the listener down mid-response.
-		defer serveMetrics(*metricsAddr, reg)()
+		defer serveMetrics(*metricsAddr, reg, logger)()
 	}
 	em := metrics.NewEngineMetrics(reg)
 	if *progress {
@@ -123,7 +132,6 @@ func main() {
 	}
 	ingestStart := time.Now()
 	var rel *hyfd.Relation
-	var err error
 	if path := flag.Arg(0); path == "-" {
 		rel, err = hyfd.ReadCSV("stdin", os.Stdin, csvOpts)
 	} else {
@@ -257,7 +265,7 @@ func main() {
 // resolved address on stderr) lets scrapers and the e2e tests attach while
 // the run is still in flight. The returned function shuts the listener down
 // gracefully, draining in-flight scrapes for up to two seconds.
-func serveMetrics(addr string, reg *hyfd.MetricsRegistry) (shutdown func()) {
+func serveMetrics(addr string, reg *hyfd.MetricsRegistry, logger *slog.Logger) (shutdown func()) {
 	ln, err := net.Listen("tcp", addr)
 	fatalIf(err)
 	reg.Gauge("hyfd_up", "Always 1 while the hyfd process serves metrics.").Set(1)
@@ -269,12 +277,12 @@ func serveMetrics(addr string, reg *hyfd.MetricsRegistry) (shutdown func()) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
+	logger.Info("metrics serving", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
 	srv := &http.Server{Handler: mux}
 	done := make(chan struct{})
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "hyfd: metrics server:", err)
+			logger.Error("metrics server failed", "error", err)
 		}
 		close(done)
 	}()

@@ -16,11 +16,19 @@
 //	curl -s localhost:8080/v1/datasets -d '{"name":"t","csv":"a,b\n1,2\n"}'
 //	curl -s localhost:8080/v1/jobs -d '{"dataset":"t","mode":"fd"}'
 //	curl -s localhost:8080/v1/jobs/j-1
+//	curl -s localhost:8080/v1/jobs/j-1/trace?format=chrome > job.trace.json
 //
-// The daemon exposes /metrics (Prometheus text), /metrics.json, /healthz and
-// /debug/pprof on the same address. On SIGINT/SIGTERM it stops admission,
-// drains in-flight jobs for the -grace window, cancels the rest, optionally
-// flushes a final metrics snapshot (-final-metrics), and exits 0.
+// Every job records a flight-recorder span timeline (admission, queue wait,
+// the engine's sampling/validation phases, result encoding), served as JSON
+// on /v1/jobs/{id}/trace and, with ?format=chrome, in Chrome trace-event
+// format that loads directly in Perfetto. The daemon further exposes
+// /metrics (Prometheus text), /metrics.json, /healthz (liveness), /readyz
+// (readiness: 503 once shutdown begins), /debug/slowjobs (the K slowest
+// recent jobs) and /debug/pprof on the same address. On SIGINT/SIGTERM it
+// stops admission, drains in-flight jobs for the -grace window, cancels the
+// rest, optionally flushes a final metrics snapshot (-final-metrics), and
+// exits 0. Logs are structured (log/slog) with job and request ids; see
+// -log-level and -log-format.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"hyfd"
+	"hyfd/internal/logging"
 	"hyfd/internal/server"
 )
 
@@ -55,11 +64,20 @@ func run() int {
 		dataDir      = flag.String("data-dir", "", "confine path-based dataset registration to this directory ('' = allow any path)")
 		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening (for harnesses)")
 		finalMetrics = flag.String("final-metrics", "", "write a final JSON metrics snapshot to this file on shutdown (- for stdout)")
+		traceCap     = flag.Int("trace-capacity", 0, "per-job flight-recorder span capacity: 0 = default 256, negative disables /v1/jobs/{id}/trace")
+		slowJobs     = flag.Int("slow-jobs", 0, "slowest-jobs ring size behind /debug/slowjobs: 0 = default 16, negative disables")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log format: text, json")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: hyfdd [flags]")
 		flag.PrintDefaults()
+		return 2
+	}
+	logger, err := logging.New(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyfdd:", err)
 		return 2
 	}
 
@@ -76,18 +94,22 @@ func run() int {
 		RetryAfter:      *retryAfter,
 		DataDir:         *dataDir,
 		Metrics:         reg,
+		TraceCapacity:   *traceCap,
+		SlowJobs:        *slowJobs,
+		Logger:          logger,
 	})
 	srv.Start()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hyfdd:", err)
+		logger.Error("listen failed", "addr", *addr, "error", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "hyfdd: serving on http://%s (workers=%d queue=%d)\n", ln.Addr(), *workers, *queue)
+	logger.Info("serving", "url", "http://"+ln.Addr().String(),
+		"workers", *workers, "queue", *queue)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "hyfdd:", err)
+			logger.Error("writing addr file", "path", *addrFile, "error", err)
 			return 1
 		}
 	}
@@ -100,32 +122,32 @@ func run() int {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "hyfdd: %s — draining (grace %s)\n", s, *grace)
+		logger.Info("signal received, draining", "signal", s.String(), "grace", grace.String())
 	case err := <-serveErr:
-		fmt.Fprintln(os.Stderr, "hyfdd:", err)
+		logger.Error("serve failed", "error", err)
 		return 1
 	}
 
-	// Shutdown sequence: stop admission first so /healthz flips and new
+	// Shutdown sequence: stop admission first so /readyz flips and new
 	// work is refused, then close the HTTP listener (in-flight responses
 	// drain), then drain the job pool under the same grace deadline.
 	srv.BeginShutdown()
 	graceCtx, cancelGrace := context.WithTimeout(context.Background(), *grace)
 	defer cancelGrace()
 	if err := httpSrv.Shutdown(graceCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "hyfdd: http shutdown:", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := srv.Shutdown(graceCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "hyfdd: grace deadline hit — canceled remaining jobs:", err)
+		logger.Warn("grace deadline hit — canceled remaining jobs", "error", err)
 	}
 
 	if *finalMetrics != "" {
 		if err := writeSnapshot(*finalMetrics, reg); err != nil {
-			fmt.Fprintln(os.Stderr, "hyfdd:", err)
+			logger.Error("writing final metrics snapshot", "error", err)
 			return 1
 		}
 	}
-	fmt.Fprintln(os.Stderr, "hyfdd: shutdown complete")
+	logger.Info("shutdown complete")
 	return 0
 }
 

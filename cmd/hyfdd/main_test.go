@@ -202,6 +202,34 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("warm serving FDs diverge from cold CLI run\nwarm:\n%s\ncold:\n%s", warm, cold)
 	}
 
+	// The finished job's flight recorder holds the full server-stage
+	// timeline, and the Chrome rendering is a loadable trace-event document.
+	code, data = getBody(t, base+"/v1/jobs/"+fdJob.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("job trace: %d %s", code, data)
+	}
+	var traceDoc struct {
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &traceDoc); err != nil {
+		t.Fatalf("job trace not JSON: %v\n%s", err, data)
+	}
+	spanNames := map[string]bool{}
+	for _, sp := range traceDoc.Spans {
+		spanNames[sp.Name] = true
+	}
+	for _, want := range []string{"job", "admission", "queue.wait", "run", "encode"} {
+		if !spanNames[want] {
+			t.Fatalf("job trace missing %q span: %s", want, data)
+		}
+	}
+	code, data = getBody(t, base+"/v1/jobs/"+fdJob.ID+"/trace?format=chrome")
+	if code != http.StatusOK || !json.Valid(data) || !strings.Contains(string(data), `"traceEvents"`) {
+		t.Fatalf("chrome trace: %d\n%.400s", code, data)
+	}
+
 	// Observability surfaces on the same mux.
 	code, data = getBody(t, base+"/metrics")
 	if code != http.StatusOK || !strings.Contains(string(data), "hyfdd_up 1") {
@@ -216,6 +244,13 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if code, _ := getBody(t, base+"/healthz"); code != http.StatusOK {
 		t.Fatalf("healthz: %d", code)
+	}
+	if code, _ := getBody(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+	code, data = getBody(t, base+"/debug/slowjobs")
+	if code != http.StatusOK || !strings.Contains(string(data), `"zips"`) {
+		t.Fatalf("slowjobs: %d\n%.400s", code, data)
 	}
 
 	// Clean shutdown: SIGTERM drains and exits 0 with a final snapshot.

@@ -19,6 +19,11 @@ var determinismScopes = []string{
 	"internal/fdtree",
 	"internal/core",
 	"internal/algorithms",
+	// internal/tracing is telemetry-only, but it sits under the rule so its
+	// clock reads stay centralized: exactly two audited call sites (the
+	// recorder epoch and its monotonic offset) carry suppressions, and any
+	// new clock read fails vet until it is routed through them.
+	"internal/tracing",
 }
 
 // testHelperPkgs are module-relative packages that exist purely to support

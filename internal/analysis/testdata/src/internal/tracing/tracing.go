@@ -1,0 +1,37 @@
+// Package tracing pins the determinism rule over the serving path's span
+// layer: internal/tracing is telemetry-only, but it sits inside the
+// determinism scope so clock reads stay centralized behind audited
+// suppressions — a bare clock read is a finding here, and the two audited
+// sites (the recorder epoch and its monotonic offset) must survive only
+// through //hyfdvet:allow.
+package tracing
+
+import "time"
+
+// Recorder is a corpus stub of one job's flight recorder.
+type Recorder struct {
+	epoch time.Time
+}
+
+// NewBare reads the wall clock without a suppression: a finding.
+func NewBare() *Recorder {
+	return &Recorder{epoch: time.Now()} // want "determinism: call to time.Now"
+}
+
+// NewAudited mirrors the real recorder's epoch read: the raw finding exists
+// but the audited suppression must drop it.
+func NewAudited() *Recorder {
+	//hyfdvet:allow determinism — recorder epoch is telemetry only; span content never feeds back into results
+	return &Recorder{epoch: time.Now()}
+}
+
+// NowBare reads the monotonic offset without a suppression: a finding.
+func (r *Recorder) NowBare() time.Duration {
+	return time.Since(r.epoch) // want "determinism: call to time.Since"
+}
+
+// NowAudited mirrors the real recorder's single monotonic read.
+func (r *Recorder) NowAudited() time.Duration {
+	//hyfdvet:allow determinism — span timestamps are telemetry only; they never influence discovery output
+	return time.Since(r.epoch)
+}

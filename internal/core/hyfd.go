@@ -330,6 +330,7 @@ func run(ctx context.Context, ix *pli.Index, cfg Config, threads int, stats *Sta
 		if grd.Interventions > before {
 			trace.Emit(obs, trace.GuardianPrune{
 				MaxLhs: grd.MaxLhs(), Interventions: grd.Interventions,
+				FootprintBytes: grd.Footprint(),
 			})
 		}
 	}
@@ -350,6 +351,7 @@ func run(ctx context.Context, ix *pli.Index, cfg Config, threads int, stats *Sta
 			Round:           stats.SamplingRounds,
 			NewObservations: len(newObs),
 			Comparisons:     smp.Comparisons,
+			Windows:         smp.Windows,
 			Threshold:       smp.Threshold(),
 			//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 			Duration: time.Since(roundStart),

@@ -64,3 +64,8 @@ func (g *Guardian) Check() {
 
 // MaxLhs exposes the tree's current LHS bound.
 func (g *Guardian) MaxLhs() int { return g.tree.MaxLhs() }
+
+// Footprint exposes the tree's current approximate footprint in bytes —
+// the same quantity Check compares against the budget (telemetry for
+// trace.GuardianPrune).
+func (g *Guardian) Footprint() int64 { return int64(g.tree.ApproxBytes()) }

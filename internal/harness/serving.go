@@ -241,6 +241,12 @@ type ServingLevel struct {
 	// gauge (authoritative — the sampler can miss instants).
 	MaxQueueDepthSampled int `json:"max_queue_depth_sampled"`
 	PeakQueueDepth       int `json:"peak_queue_depth"`
+	// SpanQueueWaitP99Ms and SpanRunP99Ms are the server-side p99 of the
+	// queue.wait and run stages from the hyfdd_span_seconds histogram —
+	// the flight-recorder-derived split of serving latency, measured by
+	// the server itself rather than inferred by the polling client.
+	SpanQueueWaitP99Ms float64 `json:"span_queue_wait_p99_ms"`
+	SpanRunP99Ms       float64 `json:"span_run_p99_ms"`
 	// MaxPrepareNs is the largest per-job preprocessing time reported in
 	// job stats. Jobs run warm against registered datasets, so this stays
 	// near zero — the prepare-once contract observed through the API.
@@ -378,6 +384,8 @@ func replayTrace(ctx context.Context, baseURL string, spec ServingTraceSpec, eve
 	level.RunMs = latencyStats(runTimes)
 	level.MaxQueueDepthSampled = maxDepth
 	level.PeakQueueDepth = scrapePeakQueueDepth(cfg.client, baseURL)
+	level.SpanQueueWaitP99Ms = scrapeSpanP99Ms(cfg.client, baseURL, "queue.wait")
+	level.SpanRunP99Ms = scrapeSpanP99Ms(cfg.client, baseURL, "run")
 	return level, nil
 }
 
@@ -483,6 +491,49 @@ func scrapePeakQueueDepth(client *http.Client, baseURL string) int {
 	}
 	peak, _ := snap.Gauge("hyfdd_queue_depth_peak")
 	return int(peak)
+}
+
+// scrapeSpanP99Ms reads the p99 of one hyfdd_span_seconds{span} stage from
+// /metrics.json, in milliseconds (0 when the surface or series is absent).
+func scrapeSpanP99Ms(client *http.Client, baseURL, span string) float64 {
+	resp, err := client.Get(baseURL + "/metrics.json")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var snap metrics.Snapshot
+	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return 0
+	}
+	hs, ok := snap.Histogram("hyfdd_span_seconds", "span", span)
+	if !ok {
+		return 0
+	}
+	return hs.Quantiles["p99"] * 1000
+}
+
+// waitReady polls GET /readyz until the server reports ready (or the
+// deadline passes) — the same startup gate a production load balancer uses.
+func waitReady(ctx context.Context, client *http.Client, baseURL string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(baseURL + "/readyz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("harness: server not ready after %s", timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 // ServingOptions parameterizes RunServing: the server shape plus the trace
@@ -631,6 +682,9 @@ func runServingLevel(ctx context.Context, opts ServingOptions, spec ServingTrace
 	defer srv.Shutdown(shutdownCtx)
 
 	client := ts.Client()
+	if err := waitReady(ctx, client, ts.URL, 5*time.Second); err != nil {
+		return nil, err
+	}
 	for _, d := range spec.Datasets {
 		if err := registerTraceDataset(client, ts.URL, d, spec.Threads); err != nil {
 			return nil, err
@@ -672,12 +726,13 @@ func registerTraceDataset(client *http.Client, baseURL string, d TraceDataset, t
 func RenderServing(w io.Writer, art *ServingArtifact) {
 	fmt.Fprintf(w, "serving capacity — workers=%d queue=%d (%d requests per level)\n",
 		art.Workers, art.QueueDepth, requestsPerLevel(art))
-	fmt.Fprintf(w, "%10s %10s %8s %8s | %9s %9s %9s | %6s %6s\n",
-		"offered", "achieved", "done", "429", "p50 ms", "p95 ms", "p99 ms", "queue", "rej %")
+	fmt.Fprintf(w, "%10s %10s %8s %8s | %9s %9s %9s | %9s %9s | %6s %6s\n",
+		"offered", "achieved", "done", "429", "p50 ms", "p95 ms", "p99 ms", "qw p99", "run p99", "queue", "rej %")
 	for _, l := range art.Levels {
-		fmt.Fprintf(w, "%8.0f/s %8.1f/s %8d %8d | %9.2f %9.2f %9.2f | %6d %5.1f%%\n",
+		fmt.Fprintf(w, "%8.0f/s %8.1f/s %8d %8d | %9.2f %9.2f %9.2f | %9.2f %9.2f | %6d %5.1f%%\n",
 			l.Spec.OfferedRPS, l.AchievedRPS, l.Done, l.Rejected,
 			l.LatencyMs.P50, l.LatencyMs.P95, l.LatencyMs.P99,
+			l.SpanQueueWaitP99Ms, l.SpanRunP99Ms,
 			l.PeakQueueDepth, 100*l.RejectRate)
 	}
 }

@@ -1,0 +1,40 @@
+// Package logging builds the process-wide structured logger behind the
+// -log-level and -log-format flags shared by cmd/hyfd and cmd/hyfdd. It is
+// a thin veneer over log/slog: flag strings map onto a handler, and the
+// mapping lives here once so both binaries accept the same vocabulary.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// New builds a logger writing to w at the given level ("debug", "info",
+// "warn", "error") and format ("text", "json"). Unknown values are errors,
+// so a typo fails the flag parse loudly instead of silently logging at the
+// wrong level.
+func New(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (text, json)", format)
+	}
+}

@@ -138,8 +138,14 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 }
 
 // With returns the counter for one label-value tuple (one value per label
-// key, in registration order).
-func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values).c }
+// key, in registration order). A nil vec yields a nil (no-op) counter, so
+// unmetered call sites stay unconditional.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.with(values).c
+}
 
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *family }
@@ -150,7 +156,12 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 }
 
 // With returns the gauge for one label-value tuple.
-func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values).g }
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.with(values).g
+}
 
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
@@ -161,7 +172,12 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 }
 
 // With returns the histogram for one label-value tuple.
-func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values).h }
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.with(values).h
+}
 
 // sortedFamilies snapshots the family list in name order.
 func (r *Registry) sortedFamilies() []*family {

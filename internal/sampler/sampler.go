@@ -78,6 +78,10 @@ type Sampler struct {
 	// Comparisons counts record-pair comparisons over the sampler's life
 	// (telemetry for the evaluation).
 	Comparisons int64
+	// Windows counts cluster-window runs over the sampler's life — the
+	// sampler's unit of work, one per efficiency-queue pop (telemetry for
+	// trace.SamplingRound).
+	Windows int64
 }
 
 // Config parameterizes a Sampler. It replaces the former per-component
@@ -300,6 +304,7 @@ func (s *Sampler) runWindow(ctx context.Context, e *efficiency, newObs *[]bitset
 	}
 	e.comps += comps
 	e.results += int64(len(*newObs) - before)
+	s.Windows++
 	s.inst.Windows.Inc()
 	if comps > 0 {
 		s.inst.WindowEfficiency.Observe(float64(len(*newObs)-before) / float64(comps))

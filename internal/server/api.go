@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"hyfd/internal/tracing"
 )
 
 // decodeJSON strictly parses the request body into v: unknown fields and
@@ -130,9 +132,60 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
-// handleHealth is the liveness probe: GET /healthz. It reports 503 once
-// shutdown has begun so load balancers stop routing here.
+// handleJobTrace serves a job's flight recorder: GET /v1/jobs/{id}/trace.
+// The default rendering is the span-tree JSON document; ?format=chrome
+// re-renders it in Chrome trace-event format, which loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Running jobs answer with
+// their timeline so far (open spans carry "open": true); servers running
+// with tracing disabled answer 404.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if j.rec == nil {
+		s.writeError(w, fmt.Errorf("%w: tracing disabled (trace capacity < 0)", ErrNoTrace))
+		return
+	}
+	snap := j.rec.Snapshot()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap.WriteChrome(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleSlowJobs serves the daemon-wide slowest-jobs ring: GET
+// /debug/slowjobs, slowest first. With the ring disabled (SlowJobs < 0) the
+// list is empty.
+func (s *Server) handleSlowJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.slow.Snapshot()
+	if jobs == nil {
+		jobs = []tracing.SlowJob{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		SlowJobs []tracing.SlowJob `json:"slow_jobs"`
+	}{jobs})
+}
+
+// handleHealth is the liveness probe: GET /healthz. It answers 200 for the
+// whole process lifetime — including shutdown drain, when the process is
+// still healthy, just no longer accepting work. Routing decisions belong to
+// the readiness probe below.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Datasets int    `json:"datasets"`
+		Queued   int    `json:"queued"`
+	}{"ok", s.datasets.count(), len(s.queue)})
+}
+
+// handleReady is the readiness probe: GET /readyz. It flips to 503 the
+// moment BeginShutdown gates admission, so load balancers stop routing new
+// work here while in-flight jobs drain.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	closing := s.closing
 	s.mu.Unlock()
@@ -144,5 +197,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Status   string `json:"status"`
 		Datasets int    `json:"datasets"`
 		Queued   int    `json:"queued"`
-	}{"ok", s.datasets.count(), len(s.queue)})
+	}{"ready", s.datasets.count(), len(s.queue)})
 }

@@ -27,6 +27,9 @@ var (
 	ErrShuttingDown = errors.New("server shutting down")
 	// ErrBadRequest wraps malformed or invalid request payloads (400).
 	ErrBadRequest = errors.New("bad request")
+	// ErrNoTrace: the job exists but has no flight recorder because the
+	// server runs with tracing disabled (404).
+	ErrNoTrace = errors.New("no trace")
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-popularized) status
@@ -44,7 +47,8 @@ func StatusFor(err error) int {
 		errors.Is(err, hyfd.ErrUnknownMode),
 		errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrUnknownDataset), errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrUnknownDataset), errors.Is(err, ErrUnknownJob),
+		errors.Is(err, ErrNoTrace):
 		return http.StatusNotFound
 	case errors.Is(err, ErrDatasetExists):
 		return http.StatusConflict

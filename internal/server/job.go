@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hyfd"
+	"hyfd/internal/tracing"
 )
 
 // JobRequest is the JSON body of POST /v1/jobs: one discovery job. It maps
@@ -93,6 +94,14 @@ type job struct {
 	request JobRequest
 	req     hyfd.Request // the mapped hyfd request (sans context)
 
+	// rec is the job's flight recorder (nil when tracing is disabled);
+	// root is its "job" span and queueSpan the "queue.wait" span opened at
+	// enqueue time. All recorder methods are nil-safe, so untraced jobs
+	// pay only nil checks.
+	rec       *tracing.Recorder
+	root      tracing.SpanID
+	queueSpan tracing.SpanID
+
 	mu        sync.Mutex
 	status    JobStatus
 	err       error
@@ -156,6 +165,21 @@ func (j *job) transition(status JobStatus, result *JobResult, err error) bool {
 	return true
 }
 
+// closeTrace finishes the job's flight recorder at a terminal state: the
+// queue.wait span (a no-op when execute already ended it) and the root span,
+// stamped with the job's outcome. Ending a span twice is a no-op, so
+// closeTrace is safe from every terminal path.
+func (j *job) closeTrace() {
+	if j.rec == nil {
+		return
+	}
+	j.rec.End(j.queueSpan)
+	j.mu.Lock()
+	status, id := j.status, j.id
+	j.mu.Unlock()
+	j.rec.End(j.root, tracing.String("id", id), tracing.String("status", string(status)))
+}
+
 // markRunning records the queue-to-run handoff; it reports false when the
 // job was canceled while queued.
 func (j *job) markRunning() bool {
@@ -180,13 +204,17 @@ func newJobStore() *jobStore {
 	return &jobStore{jobs: make(map[string]*job)}
 }
 
-// add assigns the next id and stores the job.
+// add assigns the next id and stores the job. The id is written under the
+// job's own mutex too: add runs after the job is already enqueued, so a
+// worker may concurrently read j.id through view or closeTrace.
 func (s *jobStore) add(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.next++
 	j.seq = s.next
+	j.mu.Lock()
 	j.id = "j-" + strconv.Itoa(s.next)
+	j.mu.Unlock()
 	s.jobs[j.id] = j
 }
 

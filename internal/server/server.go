@@ -31,15 +31,20 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyfd"
 	"hyfd/internal/metrics"
+	"hyfd/internal/trace"
+	"hyfd/internal/tracing"
 )
 
 // Config parameterizes New.
@@ -64,6 +69,17 @@ type Config struct {
 	// shared with the engine's per-job hyfd_* telemetry; nil runs the
 	// server unmetered.
 	Metrics *hyfd.MetricsRegistry
+	// TraceCapacity bounds each job's flight-recorder span ring
+	// (0 = tracing.DefaultCapacity; < 0 disables per-job tracing, making
+	// GET /v1/jobs/{id}/trace a 404).
+	TraceCapacity int
+	// SlowJobs sizes the daemon-wide slowest-jobs ring behind
+	// GET /debug/slowjobs (0 = tracing.DefaultSlowJobs; < 0 disables it).
+	SlowJobs int
+	// Logger receives the serving path's structured logs (admissions,
+	// completions, rejections, shutdown) with job and request ids; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Server is one hyfdd instance. Create with New, mount Handler, call Start,
@@ -82,8 +98,23 @@ type Server struct {
 	mu      sync.Mutex
 	closing bool
 
+	slow    *tracing.SlowJobs
+	log     *slog.Logger
+	nextReq atomic.Int64 // request-id sequence for access logging
+
 	inst serverMetrics
 }
+
+// Names of the server-stage spans every traced job records; the engine
+// phases bridged from trace.Observer nest under spanRun (see
+// internal/tracing for the full vocabulary and DESIGN.md §2g).
+const (
+	spanJob       = "job"
+	spanAdmission = "admission"
+	spanQueueWait = "queue.wait"
+	spanRun       = "run"
+	spanEncode    = "encode"
+)
 
 // serverMetrics bundles the server's instruments; all fields are non-nil
 // when a registry was configured, nil otherwise (instrument methods are
@@ -97,6 +128,7 @@ type serverMetrics struct {
 	datasets      *metrics.Gauge      // hyfdd_datasets
 	queueWait     *metrics.Histogram  // hyfdd_job_queue_wait_seconds
 	runSeconds    *metrics.HistogramVec
+	spanSeconds   *metrics.HistogramVec // hyfdd_span_seconds{span}
 	prepSeconds   *metrics.Histogram
 	up            *metrics.Gauge
 	httpRequests  *metrics.CounterVec // hyfdd_http_requests_total{code}
@@ -122,6 +154,13 @@ func New(ctx context.Context, cfg Config) *Server {
 		jobs:     newJobStore(),
 		queue:    make(chan *job, cfg.QueueDepth),
 		stop:     make(chan struct{}),
+		log:      cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.SlowJobs >= 0 {
+		s.slow = tracing.NewSlowJobs(cfg.SlowJobs)
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.inst = serverMetrics{
@@ -132,6 +171,7 @@ func New(ctx context.Context, cfg Config) *Server {
 			running:      reg.Gauge("hyfdd_jobs_running", "Jobs currently executing."),
 			datasets:     reg.Gauge("hyfdd_datasets", "Registered datasets."),
 			queueWait:    reg.Histogram("hyfdd_job_queue_wait_seconds", "Queue wait per job.", metrics.ExpBuckets(0.0001, 4, 12)),
+			spanSeconds:  reg.HistogramVec("hyfdd_span_seconds", "Server-stage span durations per finished job, derived from the flight recorder.", metrics.ExpBuckets(0.0001, 4, 12), "span"),
 			runSeconds:   reg.HistogramVec("hyfdd_job_run_seconds", "Execution time per job.", metrics.ExpBuckets(0.0001, 4, 12), "mode"),
 			prepSeconds:  reg.Histogram("hyfdd_dataset_prepare_seconds", "One-off preparation time per registered dataset.", metrics.ExpBuckets(0.0001, 4, 12)),
 			up:           reg.Gauge("hyfdd_up", "Always 1 while hyfdd serves."),
@@ -171,7 +211,8 @@ func (s *Server) worker() {
 
 // submit admits one job: resolve the dataset, map the request, apply the
 // deadline, and enqueue — or reject if the queue is full or the server is
-// closing. The returned job is already in the store.
+// closing. The returned job is already in the store, its flight recorder
+// (when tracing is enabled) already carrying the admission span.
 func (s *Server) submit(req JobRequest) (*job, error) {
 	s.mu.Lock()
 	closing := s.closing
@@ -179,6 +220,17 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 	if closing {
 		return nil, ErrShuttingDown
 	}
+
+	// The flight recorder spans admission from here on; rejected jobs never
+	// reach the store, so their recorders vanish with them.
+	var rec *tracing.Recorder
+	if s.cfg.TraceCapacity >= 0 {
+		rec = tracing.New(s.cfg.TraceCapacity)
+	}
+	root := rec.Start(spanJob, 0,
+		tracing.String("dataset", req.Dataset), tracing.String("mode", req.Mode))
+	adm := rec.Start(spanAdmission, root)
+
 	entry, err := s.datasets.lookup(req.Dataset)
 	if err != nil {
 		return nil, err
@@ -203,6 +255,8 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 		status:    StatusQueued,
 		createdAt: time.Now(),
 		done:      make(chan struct{}),
+		rec:       rec,
+		root:      root,
 	}
 
 	// Admission control: claim a queue slot or reject immediately — a full
@@ -212,10 +266,15 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 	default:
 		cancel()
 		s.inst.rejected.Inc()
+		s.log.Warn("job rejected", "dataset", req.Dataset, "queue_depth", s.cfg.QueueDepth)
 		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
 	}
+	rec.End(adm)
+	j.queueSpan = rec.Start(spanQueueWait, root)
 	s.jobs.add(j)
 	s.noteQueued()
+	s.log.Info("job accepted", "job", j.id, "dataset", req.Dataset,
+		"mode", req.Mode, "queue_depth", len(s.queue))
 	return j, nil
 }
 
@@ -231,13 +290,17 @@ func (s *Server) noteQueued() {
 	s.mu.Unlock()
 }
 
-// execute runs one dequeued job to a terminal state.
+// execute runs one dequeued job to a terminal state, recording the run and
+// encode stages (and, through the observer bridge, the engine's phases) in
+// the job's flight recorder.
 func (s *Server) execute(j *job) {
 	defer j.cancel()
 	if !j.markRunning() {
 		// Canceled while queued; nothing to run.
+		j.closeTrace()
 		return
 	}
+	j.rec.End(j.queueSpan)
 	s.inst.running.Add(1)
 	defer s.inst.running.Add(-1)
 	j.mu.Lock()
@@ -247,15 +310,22 @@ func (s *Server) execute(j *job) {
 
 	req := j.req
 	req.Options.Metrics = s.cfg.Metrics
+	runSpan := j.rec.Start(spanRun, j.root,
+		tracing.String("mode", string(req.Mode)), tracing.Int("threads", req.Options.Threads))
+	req.Options.Observer = trace.Multi(req.Options.Observer, j.rec.Observer(runSpan))
 	start := time.Now()
 	res, err := hyfd.Run(j.ctx, req)
 	elapsed := time.Since(start)
+	j.rec.End(runSpan)
 	mode := string(j.req.Mode)
 	s.inst.runSeconds.With(mode).Observe(elapsed.Seconds())
 
 	switch {
 	case err == nil:
-		if j.transition(StatusDone, renderResult(res, j.ds.Relation()), nil) {
+		encSpan := j.rec.Start(spanEncode, j.root)
+		result := renderResult(res, j.ds.Relation())
+		j.rec.End(encSpan, tracing.Int("count", result.Count))
+		if j.transition(StatusDone, result, nil) {
 			s.inst.jobsTotal.With(string(StatusDone)).Inc()
 		}
 	case jobCanceled(err):
@@ -267,6 +337,35 @@ func (s *Server) execute(j *job) {
 			s.inst.jobsTotal.With(string(StatusFailed)).Inc()
 		}
 	}
+	j.closeTrace()
+	s.noteFinished(j)
+}
+
+// noteFinished folds one terminal job into the daemon-wide telemetry: the
+// server-stage span histograms, the slowest-jobs ring, and the structured
+// completion log line.
+func (s *Server) noteFinished(j *job) {
+	v := j.view()
+	if j.rec != nil {
+		for _, sp := range j.rec.Snapshot().Spans {
+			switch sp.Name {
+			case spanAdmission, spanQueueWait, spanRun, spanEncode:
+				s.inst.spanSeconds.With(sp.Name).Observe(float64(sp.DurNs) / 1e9)
+			}
+		}
+	}
+	s.slow.Note(tracing.SlowJob{
+		ID:             v.ID,
+		Dataset:        v.Request.Dataset,
+		Mode:           v.Request.Mode,
+		Status:         string(v.Status),
+		QueueMs:        v.QueueMs,
+		RunMs:          v.RunMs,
+		TotalMs:        v.QueueMs + v.RunMs,
+		FinishedUnixMs: time.Now().UnixMilli(),
+	})
+	s.log.Info("job finished", "job", v.ID, "status", v.Status,
+		"queue_ms", v.QueueMs, "run_ms", v.RunMs, "error", v.Error)
 }
 
 // cancelJob cancels a job in any non-terminal state: queued jobs transition
@@ -312,12 +411,16 @@ drain:
 			s.inst.queueDepth.Add(-1)
 			if j.transition(StatusCanceled, nil, fmt.Errorf("%w: %w", ErrShuttingDown, context.Canceled)) {
 				s.inst.jobsTotal.With(string(StatusCanceled)).Inc()
+				j.closeTrace()
+				s.noteFinished(j)
 			}
 			j.cancel()
 		default:
 			break drain
 		}
 	}
+	s.log.Info("shutdown: queue drained, waiting for in-flight jobs",
+		"running", len(s.jobs.running()))
 
 	workersDone := make(chan struct{})
 	go func() {
@@ -339,8 +442,21 @@ drain:
 }
 
 // retryAfter renders the 429 Retry-After hint in whole seconds (min 1).
+// The hint scales with the backlog: the configured base covers one queue
+// "round" (workers jobs draining), so a queue N rounds deep hints N× the
+// base, capped at five minutes. Clients should add their own jitter — every
+// rejected client seeing the same hint would otherwise retry in lockstep
+// (see README, API section).
 func (s *Server) retryAfter() string {
-	secs := int(s.cfg.RetryAfter / time.Second)
+	rounds := 1
+	if depth := len(s.queue); depth > s.cfg.Workers {
+		rounds = (depth + s.cfg.Workers - 1) / s.cfg.Workers
+	}
+	d := time.Duration(rounds) * s.cfg.RetryAfter
+	if max := 5 * time.Minute; d > max {
+		d = max
+	}
+	secs := int(d / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
@@ -358,8 +474,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /debug/slowjobs", s.handleSlowJobs)
 	if reg := s.cfg.Metrics; reg != nil {
 		mux.Handle("GET /metrics", metrics.Handler(reg))
 		mux.Handle("GET /metrics.json", metrics.JSONHandler(reg))
@@ -373,12 +492,22 @@ func (s *Server) Handler() http.Handler {
 }
 
 // countRequests wraps the mux with the hyfdd_http_requests_total{code}
-// counter.
+// counter and a per-request access log line carrying the request id (the
+// client's X-Request-Id when present, a server-assigned sequence id
+// otherwise).
 func (s *Server) countRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = "r-" + strconv.FormatInt(s.nextReq.Add(1), 10)
+		}
 		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
 		next.ServeHTTP(cw, r)
 		s.inst.httpRequests.With(strconv.Itoa(cw.code)).Inc()
+		s.log.Debug("http request", "id", rid, "method", r.Method,
+			"path", r.URL.Path, "code", cw.code,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000)
 	})
 }
 

@@ -523,6 +523,10 @@ func TestObservabilitySurfaces(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(string(data), `"ok"`) {
 		t.Fatalf("healthz: %d %s", code, data)
 	}
+	code, data = do(t, "GET", ts.URL+"/readyz", "")
+	if code != http.StatusOK || !strings.Contains(string(data), `"ready"`) {
+		t.Fatalf("readyz: %d %s", code, data)
+	}
 	code, data = do(t, "GET", ts.URL+"/metrics", "")
 	if code != http.StatusOK || !strings.Contains(string(data), "hyfdd_up 1") {
 		t.Fatalf("metrics: %d\n%.400s", code, data)
@@ -545,10 +549,14 @@ func TestObservabilitySurfaces(t *testing.T) {
 		t.Fatalf("pprof: %d", code)
 	}
 
-	// Shutdown flips the health probe and closes admission.
+	// Shutdown flips the readiness probe and closes admission; liveness
+	// stays green while in-flight work drains.
 	srv.BeginShutdown()
-	if code, _ := do(t, "GET", ts.URL+"/healthz", ""); code != http.StatusServiceUnavailable {
-		t.Fatalf("healthz during shutdown: %d", code)
+	if code, _ := do(t, "GET", ts.URL+"/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz during shutdown: %d, want 200 (liveness is not readiness)", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/readyz", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during shutdown: %d", code)
 	}
 	if code, _ := do(t, "POST", ts.URL+"/v1/datasets", `{"name":"x","csv":"a\n1\n"}`); code != http.StatusServiceUnavailable {
 		t.Fatalf("register during shutdown: %d", code)

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hyfd/internal/metrics"
+	"hyfd/internal/tracing"
+)
+
+// fetchTrace GETs a job's flight recorder and decodes the span document.
+func fetchTrace(t *testing.T, url string) tracing.Trace {
+	t.Helper()
+	code, data := do(t, "GET", url, "")
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, code, data)
+	}
+	var tr tracing.Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not JSON: %v\n%s", err, data)
+	}
+	return tr
+}
+
+// TestJobTraceSpanTree: a finished job's flight recorder holds the complete
+// server-stage timeline — root job span, admission, queue wait, run, encode —
+// with the engine's bridged phases nested under the run span.
+func TestJobTraceSpanTree(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	registerCSV(t, ts, "t", tinyCSV)
+	view := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "t", Mode: "fd"}).ID)
+	if view.Status != StatusDone {
+		t.Fatalf("job finished %s", view.Status)
+	}
+
+	tr := fetchTrace(t, ts.URL+"/v1/jobs/"+view.ID+"/trace")
+	byName := map[string][]tracing.SpanView{}
+	for _, sp := range tr.Spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+		if sp.Open {
+			t.Fatalf("finished job left span %q open: %+v", sp.Name, sp)
+		}
+		if sp.DurNs < 0 {
+			t.Fatalf("negative duration on %q: %+v", sp.Name, sp)
+		}
+	}
+	one := func(name string) tracing.SpanView {
+		t.Helper()
+		got := byName[name]
+		if len(got) != 1 {
+			t.Fatalf("want exactly one %q span, got %d (trace: %+v)", name, len(got), tr.Spans)
+		}
+		return got[0]
+	}
+
+	job := one("job")
+	if job.Parent != 0 {
+		t.Fatalf("job span must be the root: %+v", job)
+	}
+	if job.Attrs["id"] != view.ID || job.Attrs["dataset"] != "t" || job.Attrs["status"] != string(StatusDone) {
+		t.Fatalf("job span attrs: %+v", job.Attrs)
+	}
+	for _, stage := range []string{"admission", "queue.wait", "run", "encode"} {
+		if sp := one(stage); sp.Parent != job.ID {
+			t.Fatalf("%s span parented under %d, want job %d", stage, sp.Parent, job.ID)
+		}
+	}
+
+	// The warm engine run bridges at least its preprocessing and completion
+	// events into the run span's subtree.
+	run := one("run")
+	for _, engine := range []string{tracing.SpanPrepare, tracing.SpanEngineDone} {
+		if sp := one(engine); sp.Parent != run.ID {
+			t.Fatalf("engine span %s parented under %d, want run %d", engine, sp.Parent, run.ID)
+		}
+	}
+	if one(tracing.SpanPrepare).Attrs["warm"] != "true" {
+		t.Fatalf("serving runs must be warm: %+v", one(tracing.SpanPrepare).Attrs)
+	}
+	if one("encode").Attrs["count"] == "" {
+		t.Fatalf("encode span must carry the result count: %+v", one("encode").Attrs)
+	}
+}
+
+// TestJobTraceChromeExport: ?format=chrome renders the same trace as a
+// Chrome trace-event document that Perfetto can load.
+func TestJobTraceChromeExport(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	registerCSV(t, ts, "t", tinyCSV)
+	view := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "t"}).ID)
+
+	code, data := do(t, "GET", ts.URL+"/v1/jobs/"+view.ID+"/trace?format=chrome", "")
+	if code != http.StatusOK {
+		t.Fatalf("chrome export: status %d: %s", code, data)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome export is not JSON: %v\n%s", err, data)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("chrome document shape: %+v", doc)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Pid != 1 || ev.Tid != 1 || (ev.Ph != "X" && ev.Ph != "i") {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"job", "run", "encode"} {
+		if !names[want] {
+			t.Fatalf("chrome export missing %q event; have %v", want, names)
+		}
+	}
+}
+
+// TestTraceDisabled: TraceCapacity < 0 turns the flight recorder off — jobs
+// still run, but the trace endpoint answers 404.
+func TestTraceDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, TraceCapacity: -1})
+	registerCSV(t, ts, "t", tinyCSV)
+	view := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "t"}).ID)
+	if view.Status != StatusDone {
+		t.Fatalf("untraced job finished %s", view.Status)
+	}
+	code, data := do(t, "GET", ts.URL+"/v1/jobs/"+view.ID+"/trace", "")
+	if code != http.StatusNotFound || !strings.Contains(string(data), "tracing disabled") {
+		t.Fatalf("trace with tracing disabled: %d %s", code, data)
+	}
+}
+
+// TestSlowJobsEndpoint: finished jobs land in the daemon-wide slowest-jobs
+// ring, slowest first, with their queue/run split.
+func TestSlowJobsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	registerCSV(t, ts, "t", tinyCSV)
+	for i := 0; i < 3; i++ {
+		waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "t"}).ID)
+	}
+
+	code, data := do(t, "GET", ts.URL+"/debug/slowjobs", "")
+	if code != http.StatusOK {
+		t.Fatalf("slowjobs: %d %s", code, data)
+	}
+	var doc struct {
+		SlowJobs []tracing.SlowJob `json:"slow_jobs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("slowjobs not JSON: %v\n%s", err, data)
+	}
+	if len(doc.SlowJobs) != 3 {
+		t.Fatalf("slowjobs holds %d entries, want 3: %s", len(doc.SlowJobs), data)
+	}
+	for i, sj := range doc.SlowJobs {
+		if sj.ID == "" || sj.Dataset != "t" || sj.Status != string(StatusDone) || sj.TotalMs <= 0 {
+			t.Fatalf("slowjob entry %d: %+v", i, sj)
+		}
+		if i > 0 && doc.SlowJobs[i-1].TotalMs < sj.TotalMs {
+			t.Fatalf("slowjobs not ordered slowest-first: %s", data)
+		}
+	}
+
+	// A disabled ring serves an empty (but well-formed) list.
+	_, tsOff := newTestServer(t, Config{Workers: 1, SlowJobs: -1})
+	code, data = do(t, "GET", tsOff.URL+"/debug/slowjobs", "")
+	doc.SlowJobs = nil
+	if err := json.Unmarshal(data, &doc); err != nil || code != http.StatusOK || len(doc.SlowJobs) != 0 {
+		t.Fatalf("disabled slowjobs: %d %s (err %v)", code, data, err)
+	}
+}
+
+// TestRetryAfterScales: the 429 hint grows with the backlog — a queue one
+// round deep hints the configured base, a deeper queue hints more.
+func TestRetryAfterScales(t *testing.T) {
+	srv := New(context.Background(), Config{Workers: 2, QueueDepth: 8,
+		RetryAfter: 2 * time.Second, Metrics: metrics.NewRegistry()})
+	for depth, want := range map[int]string{0: "2", 2: "2", 3: "4", 8: "8"} {
+		srv.queue = make(chan *job, 8)
+		for i := 0; i < depth; i++ {
+			srv.queue <- &job{}
+		}
+		if got := srv.retryAfter(); got != want {
+			t.Errorf("depth %d: Retry-After %s, want %s", depth, got, want)
+		}
+	}
+}
+
+// TestMetricsStableUnderTracedLoad: concurrent traced jobs at one and four
+// engine threads leave the metrics snapshot consistent — every submitted job
+// is accounted for exactly once, and the span histograms cover each finished
+// job's stages. Run under -race this also exercises recorder/metrics
+// concurrency.
+func TestMetricsStableUnderTracedLoad(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		t.Run(fmt.Sprintf("threads=%d", threads), func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			_, ts := newTestServer(t, Config{Workers: 4, Metrics: reg})
+			registerCSV(t, ts, "t", tinyCSV)
+
+			const jobs = 12
+			var wg sync.WaitGroup
+			ids := make([]string, jobs)
+			for i := range ids {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					ids[i] = submitJob(t, ts, JobRequest{Dataset: "t", Mode: "fd", Threads: threads}).ID
+				}(i)
+			}
+			wg.Wait()
+			for _, id := range ids {
+				if view := waitTerminal(t, ts, id); view.Status != StatusDone {
+					t.Fatalf("job %s finished %s", id, view.Status)
+				}
+				// Reading traces concurrently with other jobs still running
+				// must be safe and complete.
+				if tr := fetchTrace(t, ts.URL+"/v1/jobs/"+id+"/trace"); len(tr.Spans) == 0 {
+					t.Fatalf("job %s has an empty trace", id)
+				}
+			}
+
+			snap := reg.Snapshot()
+			if n, ok := snap.Counter("hyfdd_jobs_total", "status", "done"); !ok || n != jobs {
+				t.Fatalf("hyfdd_jobs_total{done} = %d ok=%v, want %d", n, ok, jobs)
+			}
+			for _, span := range []string{"admission", "queue.wait", "run", "encode"} {
+				h, ok := snap.Histogram("hyfdd_span_seconds", "span", span)
+				if !ok || h.Count != jobs {
+					t.Fatalf("hyfdd_span_seconds{span=%q} count %d ok=%v, want %d",
+						span, h.Count, ok, jobs)
+				}
+			}
+
+			// A second snapshot taken with the server idle is identical —
+			// scraping is read-only.
+			a, _ := json.Marshal(snap)
+			b, _ := json.Marshal(reg.Snapshot())
+			if string(a) != string(b) {
+				t.Fatalf("idle snapshots differ:\n%s\n%s", a, b)
+			}
+		})
+	}
+}

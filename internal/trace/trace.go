@@ -13,7 +13,8 @@
 // The internal/metrics package builds on this layer: its EngineMetrics
 // bridges the event stream into hyfd_* counter/gauge/histogram families,
 // so Prometheus exposition and JSON snapshots are fed from the same events
-// as any user observer.
+// as any user observer. The internal/tracing package bridges the same
+// stream into per-job flight-recorder spans for the hyfdd serving path.
 package trace
 
 import (
@@ -96,6 +97,10 @@ type SamplingRound struct {
 	NewObservations int
 	// Comparisons is the cumulative record-pair comparison count.
 	Comparisons int64
+	// Windows is the cumulative cluster-window run count (the sampler's
+	// unit of work; each window run compares every record pair at one
+	// window distance within one cluster).
+	Windows int64
 	// Threshold is the efficiency threshold the round stopped at (it halves
 	// on every re-entry into Phase 1).
 	Threshold float64
@@ -118,6 +123,9 @@ type ValidationLevel struct {
 	Candidates int
 	// Valid and Invalid partition the checked candidates.
 	Valid, Invalid int
+	// Suggestions is the number of violating record pairs this level
+	// collected for Phase 1 — the quantity that decides a switch back.
+	Suggestions int
 	// Duration is the level's wall-clock time.
 	Duration time.Duration
 }
@@ -129,6 +137,9 @@ type GuardianPrune struct {
 	MaxLhs int
 	// Interventions counts Guardian interventions so far.
 	Interventions int
+	// FootprintBytes is the result tree's approximate footprint after the
+	// prune.
+	FootprintBytes int64
 }
 
 // Done reports run completion. It is the final event of every successful

@@ -1,0 +1,65 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format's JSON-object
+// flavor (the subset Perfetto and chrome://tracing both load): complete
+// spans are "X" events with microsecond timestamps and durations, point
+// markers are thread-scoped "i" instants.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds from the trace epoch
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the enclosing document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeCategory tags every exported event; Perfetto surfaces it as the
+// event category.
+const chromeCategory = "hyfdd"
+
+// WriteChrome renders the trace in Chrome trace-event format, which loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing. Spans become
+// "X" (complete) events on one thread lane — nesting is reconstructed from
+// time containment — and zero-duration spans become thread-scoped "i"
+// instants. Open spans are exported with their duration so far.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	if t != nil {
+		doc.TraceEvents = make([]chromeEvent, 0, len(t.Spans))
+		for _, sp := range t.Spans {
+			ev := chromeEvent{
+				Name: sp.Name,
+				Cat:  chromeCategory,
+				Ts:   float64(sp.StartNs) / 1e3,
+				Pid:  1,
+				Tid:  1,
+				Args: sp.Attrs,
+			}
+			if sp.DurNs == 0 && !sp.Open {
+				ev.Ph = "i"
+				ev.S = "t"
+			} else {
+				ev.Ph = "X"
+				ev.Dur = float64(sp.DurNs) / 1e3
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,77 @@
+package tracing
+
+import (
+	"sort"
+	"sync"
+)
+
+// SlowJob is one entry of the daemon-wide slowest-jobs ring: the job's
+// identity, outcome, and latency split. The trace itself is not embedded —
+// while the job is retained by the store its full timeline stays available
+// under /v1/jobs/{id}/trace.
+type SlowJob struct {
+	ID      string  `json:"id"`
+	Dataset string  `json:"dataset"`
+	Mode    string  `json:"mode"`
+	Status  string  `json:"status"`
+	QueueMs float64 `json:"queue_ms"`
+	RunMs   float64 `json:"run_ms"`
+	TotalMs float64 `json:"total_ms"`
+	// FinishedUnixMs is stamped by the caller (the tracing package itself
+	// never reads the wall clock outside the recorder epoch).
+	FinishedUnixMs int64 `json:"finished_unix_ms"`
+}
+
+// SlowJobs keeps the K slowest recently finished jobs, ordered slowest
+// first. Note is O(K) under one mutex — called once per finished job, never
+// on a hot path. All methods are nil-receiver safe.
+type SlowJobs struct {
+	mu   sync.Mutex
+	k    int
+	jobs []SlowJob
+}
+
+// DefaultSlowJobs is the ring size used when NewSlowJobs is given k <= 0.
+const DefaultSlowJobs = 16
+
+// NewSlowJobs builds a ring keeping the k slowest jobs (<= 0 selects
+// DefaultSlowJobs).
+func NewSlowJobs(k int) *SlowJobs {
+	if k <= 0 {
+		k = DefaultSlowJobs
+	}
+	return &SlowJobs{k: k}
+}
+
+// Note offers one finished job to the ring: it is kept if the ring has room
+// or the job is slower than the current fastest entry. Ties prefer the
+// newer job (later FinishedUnixMs), keeping the ring "recent" under
+// steady-state load.
+func (s *SlowJobs) Note(j SlowJob) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs = append(s.jobs, j)
+	sort.SliceStable(s.jobs, func(i, k int) bool {
+		if s.jobs[i].TotalMs != s.jobs[k].TotalMs {
+			return s.jobs[i].TotalMs > s.jobs[k].TotalMs
+		}
+		return s.jobs[i].FinishedUnixMs > s.jobs[k].FinishedUnixMs
+	})
+	if len(s.jobs) > s.k {
+		s.jobs = s.jobs[:s.k]
+	}
+}
+
+// Snapshot returns the current ring, slowest first. A nil ring snapshots to
+// an empty slice.
+func (s *SlowJobs) Snapshot() []SlowJob {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SlowJob(nil), s.jobs...)
+}

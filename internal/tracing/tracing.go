@@ -1,0 +1,294 @@
+// Package tracing is the serving path's span layer: per-job flight
+// recorders that capture a bounded timeline of everything a request went
+// through — admission, queue wait, the engine's sampling/validation phases,
+// result encoding — as a tree of spans with monotonic durations.
+//
+// The package is stdlib-only and deliberately small:
+//
+//   - a Recorder is one job's flight recorder: a bounded ring buffer of
+//     completed spans plus the handful still open. When the ring is full the
+//     oldest completed span is dropped (and counted), so a runaway job can
+//     never grow its trace without bound;
+//   - spans carry parent links, ordered string attributes, and offsets from
+//     the recorder's epoch measured on the monotonic clock;
+//   - Snapshot renders the recorder as a Trace, the JSON document behind
+//     GET /v1/jobs/{id}/trace; Trace.WriteChrome re-renders it in Chrome
+//     trace-event format so a job timeline opens directly in Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing;
+//   - Recorder.Observer bridges the engine's trace.Observer event
+//     vocabulary into spans, so the discovery phases appear in the same
+//     timeline as the server stages without touching engine internals.
+//
+// Every method is nil-receiver safe: a nil *Recorder records nothing and a
+// SpanID of 0 means "no span", so the untraced serving path pays only nil
+// checks. Clock reads are confined to New and Recorder.now — they are
+// telemetry only and carry audited hyfdvet determinism suppressions; span
+// content never feeds back into discovery results.
+package tracing
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within its Recorder; 0 is "no span" and is
+// always safe to pass as a parent or to End.
+type SpanID int64
+
+// Attr is one key/value annotation on a span. Values are strings so traces
+// serialize identically everywhere; use the typed constructors below.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: strconv.Itoa(value)} }
+
+// Int64 builds a 64-bit integer attribute.
+func Int64(key string, value int64) Attr {
+	return Attr{Key: key, Value: strconv.FormatInt(value, 10)}
+}
+
+// Float builds a float attribute (shortest round-trip formatting).
+func Float(key string, value float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(value, 'g', -1, 64)}
+}
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: strconv.FormatBool(value)} }
+
+// SpanView is one span as exposed by Snapshot: offsets are nanoseconds from
+// the recorder's epoch, measured on the monotonic clock. A span with Open
+// set is still in flight; its DurNs is the duration so far.
+type SpanView struct {
+	ID      int64             `json:"id"`
+	Parent  int64             `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns"`
+	Open    bool              `json:"open,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is the JSON document of one flight recorder: the span timeline plus
+// the ring-buffer accounting that tells a consumer whether anything was
+// shed. Spans are sorted by start offset, then ID.
+type Trace struct {
+	// CreatedUnixMs is the recorder's epoch on the wall clock; span offsets
+	// are relative to it.
+	CreatedUnixMs int64 `json:"created_unix_ms"`
+	// Capacity is the ring bound; Dropped counts completed spans the ring
+	// had to shed (oldest first) once it filled.
+	Capacity int        `json:"capacity"`
+	Dropped  int64      `json:"dropped,omitempty"`
+	Spans    []SpanView `json:"spans"`
+}
+
+// Recorder is one flight recorder: a bounded ring of completed spans plus
+// the open ones. All methods are safe for concurrent use and safe on a nil
+// receiver (a nil Recorder records nothing).
+type Recorder struct {
+	mu      sync.Mutex
+	epoch   time.Time // monotonic base for every span offset
+	unixMs  int64     // wall-clock epoch for export
+	cap     int
+	nextID  int64
+	open    map[SpanID]*SpanView
+	closed  []SpanView // ring: insertion order, oldest at head once full
+	head    int
+	dropped int64
+}
+
+// DefaultCapacity is the span-ring bound used when New is given cap <= 0.
+const DefaultCapacity = 256
+
+// New builds a Recorder whose ring holds up to capacity completed spans
+// (<= 0 selects DefaultCapacity).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	//hyfdvet:allow determinism — recorder epoch is telemetry only; span content never feeds back into results
+	epoch := time.Now()
+	return &Recorder{
+		epoch:  epoch,
+		unixMs: epoch.UnixMilli(),
+		cap:    capacity,
+		open:   make(map[SpanID]*SpanView),
+	}
+}
+
+// now is the package's single monotonic clock read: the offset from the
+// recorder's epoch. Callers hold r.mu or don't need to (Duration is a
+// value).
+func (r *Recorder) now() time.Duration {
+	//hyfdvet:allow determinism — span timestamps are telemetry only; they never influence discovery output
+	return time.Since(r.epoch)
+}
+
+// Start opens a span under parent (0 = root) and returns its ID. On a nil
+// Recorder it returns 0, which every other method accepts as a no-op.
+func (r *Recorder) Start(name string, parent SpanID, attrs ...Attr) SpanID {
+	if r == nil {
+		return 0
+	}
+	now := r.now().Nanoseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := SpanID(r.nextID)
+	r.open[id] = &SpanView{
+		ID:      int64(id),
+		Parent:  int64(parent),
+		Name:    name,
+		StartNs: now,
+		Attrs:   attrMap(nil, attrs),
+	}
+	return id
+}
+
+// End closes the span, merging any extra attributes, and moves it into the
+// completed ring. Ending an unknown (or 0) span is a no-op, so a span can
+// safely be ended at most once from racing paths.
+func (r *Recorder) End(id SpanID, attrs ...Attr) {
+	if r == nil || id == 0 {
+		return
+	}
+	now := r.now().Nanoseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp := r.open[id]
+	if sp == nil {
+		return
+	}
+	delete(r.open, id)
+	sp.DurNs = now - sp.StartNs
+	sp.Attrs = attrMap(sp.Attrs, attrs)
+	r.push(*sp)
+}
+
+// Completed records a span of a known duration that ends now — the shape of
+// every engine event, which reports its timing only on completion. A span
+// whose duration exceeds the recorder's age starts at a negative offset:
+// the work genuinely began before the recorder existed, and preserving the
+// duration matters more than a non-negative timeline.
+func (r *Recorder) Completed(name string, parent SpanID, d time.Duration, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	end := r.now().Nanoseconds()
+	start := end - d.Nanoseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	r.push(SpanView{
+		ID:      r.nextID,
+		Parent:  int64(parent),
+		Name:    name,
+		StartNs: start,
+		DurNs:   end - start,
+		Attrs:   attrMap(nil, attrs),
+	})
+}
+
+// Instant records a zero-duration marker span — phase switches, guardian
+// interventions, and similar point events.
+func (r *Recorder) Instant(name string, parent SpanID, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	now := r.now().Nanoseconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	r.push(SpanView{
+		ID:      r.nextID,
+		Parent:  int64(parent),
+		Name:    name,
+		StartNs: now,
+		Attrs:   attrMap(nil, attrs),
+	})
+}
+
+// push appends one completed span to the ring, shedding the oldest entry
+// once the ring is full. Callers hold r.mu.
+func (r *Recorder) push(sp SpanView) {
+	if len(r.closed) < r.cap {
+		r.closed = append(r.closed, sp)
+		return
+	}
+	r.closed[r.head] = sp
+	r.head = (r.head + 1) % r.cap
+	r.dropped++
+}
+
+// Snapshot renders the recorder's current state. Open spans appear with
+// Open set and their duration so far; the result is sorted by start offset,
+// then ID. A nil Recorder snapshots to nil.
+func (r *Recorder) Snapshot() *Trace {
+	if r == nil {
+		return nil
+	}
+	now := r.now().Nanoseconds()
+	r.mu.Lock()
+	spans := make([]SpanView, 0, len(r.closed)+len(r.open))
+	spans = append(spans, r.closed...)
+	for _, sp := range r.open {
+		view := *sp
+		view.Open = true
+		view.DurNs = now - view.StartNs
+		if len(sp.Attrs) > 0 {
+			m := make(map[string]string, len(sp.Attrs))
+			for k, v := range sp.Attrs {
+				m[k] = v
+			}
+			view.Attrs = m
+		}
+		spans = append(spans, view)
+	}
+	t := &Trace{
+		CreatedUnixMs: r.unixMs,
+		Capacity:      r.cap,
+		Dropped:       r.dropped,
+	}
+	r.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	t.Spans = spans
+	return t
+}
+
+// Dropped reports how many completed spans the ring has shed so far.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// attrMap merges attrs into base (which may be nil), allocating only when
+// there is something to store.
+func attrMap(base map[string]string, attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return base
+	}
+	if base == nil {
+		base = make(map[string]string, len(attrs))
+	}
+	for _, a := range attrs {
+		base[a.Key] = a.Value
+	}
+	return base
+}

@@ -183,10 +183,11 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 		v.inst.Validations.Add(v.Validations - validationsBefore)
 		v.inst.Suggestions.Add(int64(len(res.Suggestions) - suggestionsBefore))
 		trace.Emit(v.observer, trace.ValidationLevel{
-			Level:      v.levelNumber,
-			Candidates: numValid + numInvalid,
-			Valid:      numValid,
-			Invalid:    numInvalid,
+			Level:       v.levelNumber,
+			Candidates:  numValid + numInvalid,
+			Valid:       numValid,
+			Invalid:     numInvalid,
+			Suggestions: len(res.Suggestions) - suggestionsBefore,
 			//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 			Duration: time.Since(levelStart),
 		})
