@@ -2,9 +2,9 @@ GO ?= go
 
 # Flags for the bench-json smoke run: scaled far down so CI finishes in
 # seconds; override BENCH_JSON_FLAGS for a full-scale artifact run.
-BENCH_JSON_FLAGS ?= -exp table1 -inprocess -timeout 5s -table1-rows 100
+BENCH_JSON_FLAGS ?= -exp table1,ranked -inprocess -timeout 5s -table1-rows 100
 
-.PHONY: all build vet lint test test-invariants race check bench bench-json fuzz-smoke serve-smoke
+.PHONY: all build vet lint test test-invariants race check bench bench-json fuzz-smoke fuzz-smoke-ranked serve-smoke
 
 # Wall-clock budget of the bounded differential-fuzz smoke run.
 FUZZTIME ?= 30s
@@ -52,6 +52,12 @@ bench-json:
 # brute-force reference) for a bounded time on top of the committed corpus.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDiscoverDifferential -fuzztime=$(FUZZTIME) -run '^$$' .
+
+# fuzz-smoke-ranked runs the ranked top-k differential fuzzer: the engine's
+# early-terminated ranking must equal the brute-force cover rescored
+# offline, at several k, both null semantics, and two thread counts.
+fuzz-smoke-ranked:
+	$(GO) test -fuzz=FuzzTopKDifferential -fuzztime=$(FUZZTIME) -run '^$$' .
 
 # serve-smoke is the end-to-end daemon exercise: build hyfdd, start it,
 # register a CSV, run one job per mode (fd/afd/ucc), compare the warm FD

@@ -19,6 +19,7 @@
 //	hyfd -stats-json - -no-fds data.csv
 //	hyfd -uccs -keys -bcnf orders.csv
 //	hyfd -approx 0.05 dirty.csv
+//	hyfd -top-k 5 -progress big.csv
 //
 // With -metrics-addr the process serves Prometheus text exposition on
 // /metrics, a JSON snapshot on /metrics.json, and the standard Go profiler
@@ -66,6 +67,8 @@ func main() {
 		indices     = flag.Bool("indices", false, "print attribute indices instead of column names")
 		noFds       = flag.Bool("no-fds", false, "suppress the FD listing (useful with the flags below)")
 		jsonOut     = flag.Bool("json", false, "emit the FDs as JSON ({determinant, dependant} objects)")
+		topK        = flag.Int("top-k", 0, "rank FDs by redundancy score and return only the k best, terminating early (HyFD only; 0 = off)")
+		minScore    = flag.Float64("min-score", 0, "with ranked discovery, drop results scoring below this floor (0 = off)")
 		approx      = flag.Float64("approx", -1, "also report approximate FDs with g3 error <= this threshold")
 		uccs        = flag.Bool("uccs", false, "also report minimal unique column combinations")
 		keys        = flag.Bool("keys", false, "also report candidate keys derived from the FDs")
@@ -82,6 +85,21 @@ func main() {
 	if *threads < 0 {
 		fmt.Fprintf(os.Stderr, "hyfd: invalid -threads %d: must be 0 (all CPUs) or positive\n", *threads)
 		os.Exit(2)
+	}
+	if *topK < 0 || *minScore < 0 {
+		fmt.Fprintln(os.Stderr, "hyfd: -top-k and -min-score must be >= 0")
+		os.Exit(2)
+	}
+	ranked := *topK > 0 || *minScore > 0
+	if ranked {
+		if *algorithm != hyfd.AlgorithmHyFD {
+			fmt.Fprintln(os.Stderr, "hyfd: ranked discovery (-top-k/-min-score) supports only the HyFD engine")
+			os.Exit(2)
+		}
+		if *jsonOut || *keys || *bcnf {
+			fmt.Fprintln(os.Stderr, "hyfd: -json, -keys and -bcnf need the full FD cover; drop -top-k/-min-score")
+			os.Exit(2)
+		}
 	}
 	logger, err := logging.New(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -162,7 +180,11 @@ func main() {
 		Metrics:       reg,
 	})
 	fatalIf(err)
-	result, err := hyfd.Run(ctx, hyfd.Request{Dataset: ds, Algorithm: *algorithm, Options: opts})
+	request := hyfd.Request{Dataset: ds, Algorithm: *algorithm, Options: opts}
+	if ranked {
+		request = hyfd.Request{Dataset: ds, Mode: hyfd.ModeRanked, TopK: *topK, MinScore: *minScore, Options: opts}
+	}
+	result, err := hyfd.Run(ctx, request)
 	fatalIf(err)
 
 	render := func(lhs hyfd.AttrSet) string {
@@ -178,9 +200,18 @@ func main() {
 	}
 
 	if !*noFds {
-		if *jsonOut {
+		switch {
+		case ranked:
+			for _, r := range result.Ranked {
+				if *indices {
+					fmt.Printf("%3d  %.6g  %s\n", r.Rank, r.Score, r.FD.String())
+				} else {
+					fmt.Printf("%3d  %.6g  %s\n", r.Rank, r.Score, r.FD.Format(rel))
+				}
+			}
+		case *jsonOut:
 			fatalIf(result.Set.WriteJSON(os.Stdout, rel))
-		} else {
+		default:
 			for _, f := range result.FDs {
 				if *indices {
 					fmt.Println(f.String())
@@ -239,7 +270,11 @@ func main() {
 
 	if *stats {
 		fmt.Fprintf(os.Stderr, "dataset: %s (%d rows, %d columns)\n", rel.Name, rel.NumRows(), rel.NumCols())
-		fmt.Fprintf(os.Stderr, "fds: %d\n", len(result.FDs))
+		if ranked {
+			fmt.Fprintf(os.Stderr, "ranked fds: %d\n", len(result.Ranked))
+		} else {
+			fmt.Fprintf(os.Stderr, "fds: %d\n", len(result.FDs))
+		}
 		if s := result.Stats; s != nil {
 			fmt.Fprintf(os.Stderr, "phase switches: %d, sampling rounds: %d\n", s.PhaseSwitches, s.SamplingRounds)
 			fmt.Fprintf(os.Stderr, "comparisons: %d, validations: %d, observations: %d\n",
@@ -254,7 +289,11 @@ func main() {
 					ds.PreprocessingTime().Round(time.Millisecond))
 			}
 			if !s.Complete {
-				fmt.Fprintf(os.Stderr, "NOTE: result pruned to LHS size <= %d (memory guardian / max-lhs)\n", s.MaxLhs)
+				if ranked {
+					fmt.Fprintln(os.Stderr, "NOTE: ranked run terminated early — the requested top of the ranking was provably stable")
+				} else {
+					fmt.Fprintf(os.Stderr, "NOTE: result pruned to LHS size <= %d (memory guardian / max-lhs)\n", s.MaxLhs)
+				}
 			}
 		}
 	}
@@ -308,10 +347,14 @@ type runReport struct {
 }
 
 func writeStatsJSON(path, dataset, algorithm string, result *hyfd.Result, prep time.Duration, reg *hyfd.MetricsRegistry) error {
+	fds := len(result.FDs)
+	if result.Ranked != nil {
+		fds = len(result.Ranked)
+	}
 	report := runReport{
 		Dataset:   dataset,
 		Algorithm: algorithm,
-		FDs:       len(result.FDs),
+		FDs:       fds,
 		PrepareNs: prep.Nanoseconds(),
 		Stats:     result.Stats,
 	}
@@ -374,6 +417,9 @@ func progressObserver(w *os.File, em *metrics.EngineMetrics, start time.Time) hy
 		case hyfd.GuardianPrune:
 			fmt.Fprintf(w, "memory guardian: results pruned to LHS size <= %d (intervention #%d)\n",
 				ev.MaxLhs, ev.Interventions)
+		case hyfd.RankedResult:
+			fmt.Fprintf(w, "ranked result #%d: score %.6g (%v -> %d) at %s\n",
+				ev.Rank, ev.Score, ev.Lhs, ev.Rhs, ev.Duration.Round(time.Millisecond))
 		case hyfd.Done:
 			fmt.Fprintf(w, "done: %d FDs in %s\n", ev.FDs, ev.Duration.Round(time.Millisecond))
 		}

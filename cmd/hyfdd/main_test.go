@@ -59,11 +59,17 @@ type jobView struct {
 	Status string `json:"status"`
 	Error  string `json:"error"`
 	Result *struct {
-		FDs   []string `json:"fds"`
-		AFDs  []string `json:"afds"`
-		UCCs  []string `json:"uccs"`
-		Count int      `json:"count"`
-		Stats *struct {
+		FDs    []string `json:"fds"`
+		AFDs   []string `json:"afds"`
+		UCCs   []string `json:"uccs"`
+		Ranked []struct {
+			FD    string  `json:"fd"`
+			Score float64 `json:"score"`
+			Rank  int     `json:"rank"`
+		} `json:"ranked"`
+		Partial bool `json:"partial"`
+		Count   int  `json:"count"`
+		Stats   *struct {
 			Warm            bool  `json:"warm,omitempty"`
 			PreprocessingNs int64 `json:"preprocessing_ns"`
 		} `json:"stats"`
@@ -189,6 +195,18 @@ func TestServeSmoke(t *testing.T) {
 	if uccJob.Status != "done" || len(uccJob.Result.UCCs) == 0 {
 		t.Fatalf("ucc job: %+v (%s)", uccJob, uccJob.Error)
 	}
+	rankedJob := runJob(t, base, `{"dataset":"zips","mode":"ranked","top_k":2,"threads":1}`)
+	if rankedJob.Status != "done" || len(rankedJob.Result.Ranked) != 2 || rankedJob.Result.Partial {
+		t.Fatalf("ranked job: %+v (%s)", rankedJob, rankedJob.Error)
+	}
+	for i, r := range rankedJob.Result.Ranked {
+		if r.Rank != i+1 || r.FD == "" {
+			t.Fatalf("ranked job item %d malformed: %+v", i, r)
+		}
+		if i > 0 && r.Score > rankedJob.Result.Ranked[i-1].Score {
+			t.Fatalf("ranked job scores not monotone: %+v", rankedJob.Result.Ranked)
+		}
+	}
 
 	// Acceptance bar: the warm serving result is byte-identical to a cold
 	// cmd/hyfd run on the same input at the same thread count.
@@ -235,8 +253,11 @@ func TestServeSmoke(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(string(data), "hyfdd_up 1") {
 		t.Fatalf("metrics: %d\n%.400s", code, data)
 	}
-	if !strings.Contains(string(data), `hyfdd_jobs_total{status="done"} 3`) {
+	if !strings.Contains(string(data), `hyfdd_jobs_total{status="done"} 4`) {
 		t.Fatalf("metrics missing done-job counter:\n%.1500s", data)
+	}
+	if !strings.Contains(string(data), "hyfd_ranked_emitted_total 2") {
+		t.Fatalf("metrics missing ranked-emitted counter:\n%.1500s", data)
 	}
 	code, data = getBody(t, base+"/metrics.json")
 	if code != http.StatusOK || !json.Valid(data) {

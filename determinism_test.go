@@ -1,6 +1,7 @@
 package hyfd_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -39,6 +40,48 @@ func TestDiscoverThreadCountDeterminism(t *testing.T) {
 					res.Stats.Observations != base.Stats.Observations {
 					t.Fatalf("%s ns=%v threads=%d: work differs from sequential:\n got %+v\nwant %+v",
 						name, ns, threads, res.Stats, base.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestRankedThreadCountDeterminism: the ranked mode inherits the engine's
+// determinism contract — the full ranked list (FDs, scores, rank order) is
+// byte-identical at every thread count and across repeated runs, for both a
+// bounded and an unbounded k. Emitted mid-run prefixes are covered too:
+// CompleteLevel only ever extends the stream, so list equality implies
+// stream equality.
+func TestRankedThreadCountDeterminism(t *testing.T) {
+	rels := map[string]*hyfd.Relation{
+		"synthetic": syntheticRelation(400, 8, 3, 17),
+		"meta":      metamorphicRelation(80, 99),
+	}
+	for name, rel := range rels {
+		for _, ns := range []hyfd.NullSemantics{hyfd.NullEqualsNull, hyfd.NullNotEqualsNull} {
+			for _, k := range []int{5, 0} {
+				run := func(threads int) []hyfd.RankedFD {
+					res, err := hyfd.Run(context.Background(), hyfd.Request{
+						Relation: rel,
+						Mode:     hyfd.ModeRanked,
+						TopK:     k,
+						Options:  hyfd.Options{NullSemantics: ns, Threads: threads},
+					})
+					if err != nil {
+						t.Fatalf("%s ns=%v k=%d threads=%d: %v", name, ns, k, threads, err)
+					}
+					return res.Ranked
+				}
+				base := run(1)
+				if repeat := run(1); !reflect.DeepEqual(repeat, base) {
+					t.Fatalf("%s ns=%v k=%d: repeated single-threaded runs differ:\n%v\n%v",
+						name, ns, k, base, repeat)
+				}
+				for _, threads := range []int{0, 2, 8} {
+					if got := run(threads); !reflect.DeepEqual(got, base) {
+						t.Fatalf("%s ns=%v k=%d: threads=%d ranked list differs from sequential:\ngot:  %v\nwant: %v",
+							name, ns, k, threads, got, base)
+					}
 				}
 			}
 		}

@@ -1,10 +1,12 @@
 package hyfd_test
 
 import (
+	"context"
 	"testing"
 
 	"hyfd"
 	"hyfd/internal/fd"
+	"hyfd/internal/rank"
 )
 
 // fuzzRelation shapes a small relation from raw fuzz bytes: the first two
@@ -76,6 +78,68 @@ func FuzzDiscoverDifferential(f *testing.F) {
 					t.Fatalf("ns=%v threads=%d rows=%d cols=%d:\nmissing: %v\nextra: %v",
 						ns, threads, rel.NumRows(), rel.NumCols(),
 						want.Diff(res.Set), res.Set.Diff(want))
+				}
+			}
+		}
+	})
+}
+
+// FuzzTopKDifferential differentially fuzzes ranked top-k discovery against
+// its offline oracle: the early-terminated engine output must equal the
+// complete brute-force cover rescored and cut with rank.Rank — exact
+// equality including rank order and scores, under both null semantics, at
+// two thread counts, and for several k (0 ranks the whole cover). The
+// committed corpus under testdata/fuzz seeds score ties (constant columns),
+// nulls, and unique columns.
+func FuzzTopKDifferential(f *testing.F) {
+	// Mixed shape with nulls (bytes ≡ 6 mod 7 become NULL).
+	f.Add([]byte{3, 8, 0, 1, 2, 6, 1, 13, 2, 1, 0, 255, 20, 4})
+	// Two constant columns: maximal tied scores exercise the strict cut.
+	f.Add([]byte{2, 5, 0, 4, 0, 4, 0, 4, 0, 4, 0, 4})
+	// Unique column beside a correlated pair.
+	f.Add([]byte{3, 6, 7, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3, 8, 0, 0, 9, 1, 1})
+	// Degenerate shapes: no rows, single cell.
+	f.Add([]byte{5, 0})
+	f.Add([]byte{0, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rel := fuzzRelation(data)
+		if rel == nil {
+			return
+		}
+		ctx := context.Background()
+		for _, ns := range []hyfd.NullSemantics{hyfd.NullEqualsNull, hyfd.NullNotEqualsNull} {
+			// The oracle scorer reads the same prepared PLIs the engine uses,
+			// so scores compare bitwise.
+			ds, err := hyfd.Prepare(ctx, rel, hyfd.PrepareOptions{NullSemantics: ns, Threads: 1})
+			if err != nil {
+				t.Fatalf("ns=%v: prepare: %v", ns, err)
+			}
+			scorer := rank.NewScorer(ds.Index())
+			cover := fd.BruteForce(rel, ns)
+			for _, k := range []int{1, 3, 0} {
+				want := rank.Rank(cover.All(), scorer, k, 0)
+				for _, threads := range []int{1, 4} {
+					res, err := hyfd.Run(ctx, hyfd.Request{
+						Relation: rel,
+						Mode:     hyfd.ModeRanked,
+						TopK:     k,
+						Options:  hyfd.Options{NullSemantics: ns, Threads: threads},
+					})
+					if err != nil {
+						t.Fatalf("ns=%v k=%d threads=%d: %v", ns, k, threads, err)
+					}
+					if len(res.Ranked) != len(want) {
+						t.Fatalf("ns=%v k=%d threads=%d rows=%d cols=%d: got %d ranked, oracle has %d\ngot: %v\nwant: %v",
+							ns, k, threads, rel.NumRows(), rel.NumCols(),
+							len(res.Ranked), len(want), res.Ranked, want)
+					}
+					for i, g := range res.Ranked {
+						w := want[i]
+						if g.Rank != w.Rank || g.Score != w.Score || g.FD.Rhs != w.FD.Rhs || !g.FD.Lhs.Equal(w.FD.Lhs) {
+							t.Fatalf("ns=%v k=%d threads=%d: rank %d differs:\ngot:  %+v\nwant: %+v",
+								ns, k, threads, i+1, g, w)
+						}
+					}
 				}
 			}
 		}

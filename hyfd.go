@@ -43,6 +43,7 @@ import (
 	"hyfd/internal/core"
 	"hyfd/internal/dataset"
 	"hyfd/internal/fd"
+	"hyfd/internal/rank"
 	"hyfd/internal/relation"
 )
 
@@ -136,9 +137,16 @@ type Options struct {
 // Stats is the telemetry of one discovery run.
 type Stats = core.Stats
 
+// RankedFD is one result of a ranked (ModeRanked) run: the FD, its
+// redundancy score, and its final 1-based rank. The slice a ranked run
+// returns is ordered by rank; the ranking is deterministic (score
+// descending, canonical FD order as tie-break) at every thread count.
+type RankedFD = rank.FD
+
 // Result bundles one Run's discoveries with its telemetry. Exactly one of
 // the payload groups is populated, matching the request's Mode: FDs/Set for
-// ModeFD, AFDs for ModeAFD, UCCs for ModeUCC. Stats is always set.
+// ModeFD, AFDs for ModeAFD, UCCs for ModeUCC, Ranked for ModeRanked. Stats
+// is always set.
 type Result struct {
 	// FDs holds all discovered minimal, non-trivial FDs in canonical
 	// order (ModeFD).
@@ -151,6 +159,10 @@ type Result struct {
 	// UCCs holds the minimal unique column combinations in canonical order
 	// (ModeUCC).
 	UCCs []AttrSet
+	// Ranked holds the top-k scored FDs in rank order (ModeRanked). It is
+	// exactly the prefix of the full canonical cover rescored offline —
+	// early termination changes the work, never the answer.
+	Ranked []RankedFD
 	// Stats reports phase switches, comparisons, validations, and whether
 	// the result is complete.
 	Stats *Stats

@@ -17,6 +17,9 @@ var determinismScopes = []string{
 	"internal/inductor",
 	"internal/validator",
 	"internal/fdtree",
+	// internal/rank turns scores into result order and early-cut decisions,
+	// so any clock/randomness leak would reorder the ranked stream itself.
+	"internal/rank",
 	"internal/core",
 	"internal/algorithms",
 	// internal/tracing is telemetry-only, but it sits under the rule so its

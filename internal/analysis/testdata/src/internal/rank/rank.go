@@ -1,0 +1,25 @@
+// Package rank pins the determinism rule over the ranking layer: scores
+// and cut-bound decisions feed directly into the ranked result order, so
+// code here must never read the clock or draw randomness — a leak would
+// reorder the any-time stream between otherwise identical runs.
+package rank
+
+import "math/rand"
+
+// Scorer is a corpus stub of the ranked candidate scorer.
+type Scorer struct {
+	jitter float64
+}
+
+// NewBare seeds the scorer from the global RNG without a suppression: a
+// finding.
+func NewBare() *Scorer {
+	return &Scorer{jitter: rand.Float64()} // want "determinism: call to math/rand.Float64"
+}
+
+// NewAudited carries a suppression, which must drop the raw finding — the
+// real package has no such site; the fixture only pins the mechanism.
+func NewAudited() *Scorer {
+	//hyfdvet:allow determinism — corpus-only: exercises suppression filtering inside the ranking scope
+	return &Scorer{jitter: rand.Float64()}
+}

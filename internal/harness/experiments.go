@@ -58,15 +58,15 @@ type Experiment struct {
 }
 
 // Experiments returns the six paper-reproduction experiments plus the
-// preprocessing-speedup and dataset-reuse probes.
+// preprocessing-speedup, dataset-reuse, and ranked-discovery probes.
 func Experiments(opts Options) []Experiment {
 	return []Experiment{
-		Fig6(opts), Fig7(opts), Table1(opts), Table2(opts), Table3(opts), Fig8(opts), Prep(opts), DatasetReuse(opts),
+		Fig6(opts), Fig7(opts), Table1(opts), Table2(opts), Table3(opts), Fig8(opts), Prep(opts), DatasetReuse(opts), Ranked(opts),
 	}
 }
 
 // ByID returns one experiment by its id (fig6, fig7, table1, table2,
-// table3, fig8, prep, dataset_reuse).
+// table3, fig8, prep, dataset_reuse, ranked).
 func ByID(id string, opts Options) (Experiment, error) {
 	for _, e := range Experiments(opts) {
 		if e.ID == id {
@@ -410,6 +410,93 @@ func DatasetReuse(opts Options) Experiment {
 				if warm.Seconds > 0 {
 					derived["reuse_speedup_"+name] = cold.Seconds / warm.Seconds
 				}
+			}
+			return derived
+		},
+	}
+}
+
+// rankedDatasets are the ranked experiment's subjects: two Table 1
+// datasets whose complete covers are large enough (hundreds and dozens of
+// FDs) that a top-k cut can terminate well before the full run.
+var rankedDatasets = []string{"abalone", "bridges"}
+
+// rankedTopK is the prefix length the ranked experiment requests.
+const rankedTopK = 10
+
+// rankedThreads is the multi-threaded variant's worker count; its digest
+// must match the single-threaded run byte for byte.
+const rankedThreads = 4
+
+// Ranked — top-k discovery vs the complete cover: per dataset, one full
+// HyFD run and two ranked TopK runs (single- and multi-threaded). The
+// derived metrics record time-to-top-k, its speedup over the full run
+// (ranked_speedup_<ds>), and a determinism bit (ranked_deterministic_<ds>:
+// 1 when the single- and multi-threaded ranked digests are byte-equal).
+func Ranked(opts Options) Experiment {
+	var jobs []Spec
+	for _, name := range rankedDatasets {
+		jobs = append(jobs,
+			Spec{Algorithm: HyFDName, Dataset: name, Threads: 1},
+			Spec{Algorithm: HyFDName, Dataset: name, Threads: 1, TopK: rankedTopK},
+			Spec{Algorithm: HyFDName, Dataset: name, Threads: rankedThreads, TopK: rankedTopK},
+		)
+	}
+	findRanked := func(results []Result, name string, threads, topK int) *Result {
+		for i := range results {
+			s := results[i].Spec
+			if s.Dataset == name && s.Threads == threads && s.TopK == topK && results[i].Err == "" {
+				return &results[i]
+			}
+		}
+		return nil
+	}
+	return Experiment{
+		ID: "ranked",
+		Title: fmt.Sprintf("Ranked discovery: time-to-top-%d vs complete cover on %s",
+			rankedTopK, strings.Join(rankedDatasets, ", ")),
+		Jobs: jobs,
+		Render: func(w io.Writer, results []Result) {
+			tw := newTable("Dataset", "full FDs", "full [s]", "top-k 1t [s]", fmt.Sprintf("top-k %dt [s]", rankedThreads), "speedup", "deterministic")
+			for _, name := range rankedDatasets {
+				full := findRanked(results, name, 1, 0)
+				r1 := findRanked(results, name, 1, rankedTopK)
+				rn := findRanked(results, name, rankedThreads, rankedTopK)
+				if full == nil || r1 == nil || rn == nil {
+					continue
+				}
+				speedup := "-"
+				if r1.Seconds > 0 {
+					speedup = fmt.Sprintf("%.2fx", full.Seconds/r1.Seconds)
+				}
+				det := "no"
+				if r1.RankedDigest != "" && r1.RankedDigest == rn.RankedDigest {
+					det = "yes"
+				}
+				tw.row(name, cell(fmt.Sprint(full.FDs), full), timeCell(full), timeCell(r1), timeCell(rn), speedup, det)
+			}
+			tw.write(w)
+		},
+		Derive: func(results []Result) map[string]float64 {
+			derived := map[string]float64{}
+			for _, name := range rankedDatasets {
+				full := findRanked(results, name, 1, 0)
+				r1 := findRanked(results, name, 1, rankedTopK)
+				rn := findRanked(results, name, rankedThreads, rankedTopK)
+				if full == nil || r1 == nil || rn == nil {
+					continue
+				}
+				derived["full_seconds_"+name] = full.Seconds
+				derived["ranked_seconds_"+name] = r1.Seconds
+				derived["ranked_fds_"+name] = float64(r1.FDs)
+				if r1.Seconds > 0 {
+					derived["ranked_speedup_"+name] = full.Seconds / r1.Seconds
+				}
+				det := 0.0
+				if r1.RankedDigest != "" && r1.RankedDigest == rn.RankedDigest {
+					det = 1.0
+				}
+				derived["ranked_deterministic_"+name] = det
 			}
 			return derived
 		},

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"hyfd/internal/datasets"
 	"hyfd/internal/fd"
 	"hyfd/internal/metrics"
+	"hyfd/internal/rank"
 	"hyfd/internal/relation"
 )
 
@@ -69,6 +71,11 @@ type Spec struct {
 	// the Guardian for uniprot, whose complete result is too large to
 	// store (§10.4).
 	MaxLhs int `json:"max_lhs,omitempty"`
+	// TopK, when positive, switches the HyFD run into ranked top-k mode:
+	// the engine streams the k best-scored FDs and terminates as soon as
+	// the cut bound proves the prefix stable, so Seconds measures
+	// time-to-top-k rather than time-to-complete-cover.
+	TopK int `json:"top_k,omitempty"`
 	// Metrics attaches a metrics registry to HyFD runs and embeds its
 	// snapshot in the result (see Result.Metrics). Off by default so the
 	// perf-criterion paths (bench_test.go) stay unmetered.
@@ -103,6 +110,10 @@ type Result struct {
 	// Stats carries HyFD's full run telemetry (phase timings, comparison
 	// and validation counts) when the run completed; nil for baselines.
 	Stats *core.Stats `json:"stats,omitempty"`
+	// RankedDigest is a canonical rendering of a TopK run's output
+	// ("rank:score:lhs->rhs" per entry) — byte-equal digests across thread
+	// counts are the determinism check of the ranked experiment.
+	RankedDigest string `json:"ranked_digest,omitempty"`
 	// Metrics is the run's metrics snapshot when Spec.Metrics was set.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
@@ -235,26 +246,52 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 			MaxLhsSize:          spec.MaxLhs,
 			Metrics:             reg,
 		}
-		var (
-			set   *fd.Set
-			stats *core.Stats
-			err   error
-		)
-		if spec.Warm {
-			set, stats, err = core.DiscoverDataset(ctx, ds, cfg)
+		if spec.TopK > 0 {
+			var (
+				ranked []rank.FD
+				stats  *core.Stats
+				err    error
+			)
+			if spec.Warm {
+				ranked, stats, err = core.DiscoverRankedDataset(ctx, ds, cfg, spec.TopK, 0)
+			} else {
+				ranked, stats, err = core.DiscoverRanked(ctx, rel, cfg, spec.TopK, 0)
+			}
+			res.Seconds = time.Since(start).Seconds()
+			if err != nil {
+				setErr(err)
+			} else {
+				res.FDs = len(ranked)
+				res.Switches = stats.PhaseSwitches
+				res.Stats = stats
+				res.RankedDigest = rankedDigest(ranked)
+				if reg != nil {
+					snap := reg.Snapshot()
+					res.Metrics = &snap
+				}
+			}
 		} else {
-			set, stats, err = core.Discover(ctx, rel, cfg)
-		}
-		res.Seconds = time.Since(start).Seconds()
-		if err != nil {
-			setErr(err)
-		} else {
-			res.FDs = set.Size()
-			res.Switches = stats.PhaseSwitches
-			res.Stats = stats
-			if reg != nil {
-				snap := reg.Snapshot()
-				res.Metrics = &snap
+			var (
+				set   *fd.Set
+				stats *core.Stats
+				err   error
+			)
+			if spec.Warm {
+				set, stats, err = core.DiscoverDataset(ctx, ds, cfg)
+			} else {
+				set, stats, err = core.Discover(ctx, rel, cfg)
+			}
+			res.Seconds = time.Since(start).Seconds()
+			if err != nil {
+				setErr(err)
+			} else {
+				res.FDs = set.Size()
+				res.Switches = stats.PhaseSwitches
+				res.Stats = stats
+				if reg != nil {
+					snap := reg.Snapshot()
+					res.Metrics = &snap
+				}
 			}
 		}
 	} else {
@@ -289,4 +326,16 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 	}
 	res.PeakHeap = peak.Load()
 	return res
+}
+
+// rankedDigest renders a ranked result canonically, one "rank:score:fd"
+// entry per line. Two runs over the same relation must produce byte-equal
+// digests regardless of thread count — the ranked experiment derives its
+// determinism metric from that equality.
+func rankedDigest(ranked []rank.FD) string {
+	var b strings.Builder
+	for _, r := range ranked {
+		fmt.Fprintf(&b, "%d:%.12g:%s\n", r.Rank, r.Score, r.FD.String())
+	}
+	return b.String()
 }

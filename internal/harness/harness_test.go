@@ -60,7 +60,7 @@ func TestMaterializeCapsRowsAndCols(t *testing.T) {
 func TestExperimentsDefinitions(t *testing.T) {
 	opts := DefaultOptions()
 	exps := Experiments(opts)
-	if len(exps) != 8 {
+	if len(exps) != 9 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	ids := map[string]bool{}
@@ -70,7 +70,7 @@ func TestExperimentsDefinitions(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, id := range []string{"fig6", "fig7", "table1", "table2", "table3", "fig8", "prep", "dataset_reuse"} {
+	for _, id := range []string{"fig6", "fig7", "table1", "table2", "table3", "fig8", "prep", "dataset_reuse", "ranked"} {
 		if !ids[id] {
 			t.Fatalf("experiment %q missing", id)
 		}

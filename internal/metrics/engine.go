@@ -51,6 +51,11 @@ type EngineMetrics struct {
 	PLIClusterSize        *Histogram // hyfd_pli_cluster_size
 	DatasetReuses         *Counter   // hyfd_dataset_reuse_total
 
+	// Ranked (top-k) mode.
+	RankedEmitted     *Counter   // hyfd_ranked_emitted_total
+	RankedTimeToFirst *Histogram // hyfd_ranked_time_to_first_seconds
+	RankedTimeToTopK  *Histogram // hyfd_ranked_time_to_topk_seconds
+
 	// Per-run outcomes.
 	Runs          *Counter   // hyfd_runs_total
 	RunDuration   *Histogram // hyfd_run_duration_seconds
@@ -118,6 +123,13 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 		DatasetReuses: r.Counter("hyfd_dataset_reuse_total",
 			"Warm runs that reused an already-prepared Dataset instead of rebuilding PLIs."),
 
+		RankedEmitted: r.Counter("hyfd_ranked_emitted_total",
+			"Ranked-mode results whose final rank stabilized and streamed out."),
+		RankedTimeToFirst: r.Histogram("hyfd_ranked_time_to_first_seconds",
+			"Elapsed run time until a ranked run's first result stabilized.", nil),
+		RankedTimeToTopK: r.Histogram("hyfd_ranked_time_to_topk_seconds",
+			"Elapsed run time until a ranked run's full top-k stabilized.", nil),
+
 		Runs: r.Counter("hyfd_runs_total",
 			"Completed discovery runs."),
 		RunDuration: r.Histogram("hyfd_run_duration_seconds",
@@ -173,6 +185,11 @@ func (m *EngineMetrics) Observer() trace.Observer {
 			m.InvalidCandidates.Add(int64(ev.Invalid))
 		case trace.GuardianPrune:
 			m.GuardianInterventions.Inc()
+		case trace.RankedResult:
+			m.RankedEmitted.Inc()
+			if ev.Rank == 1 {
+				m.RankedTimeToFirst.Observe(ev.Duration.Seconds())
+			}
 		case trace.Done:
 			m.Runs.Inc()
 			m.RunDuration.Observe(ev.Duration.Seconds())

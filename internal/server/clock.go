@@ -1,0 +1,28 @@
+package server
+
+import "time"
+
+// clock abstracts the deadline-timer path so tests can drive job expiry
+// without real sleeps. The serving path uses realClock; tests inject a fake
+// through Config.clock and advance it manually (see clock_test.go).
+type clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc arranges for f to run in its own goroutine once d has
+	// elapsed and returns a handle that can stop the pending call.
+	AfterFunc(d time.Duration, f func()) timer
+}
+
+// timer is the stoppable handle AfterFunc returns; Stop follows
+// time.Timer.Stop semantics (false when the callback already fired or the
+// timer was already stopped).
+type timer interface {
+	Stop() bool
+}
+
+// realClock is the production clock: thin wrappers over package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) AfterFunc(d time.Duration, f func()) timer { return time.AfterFunc(d, f) }

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deadline tests: timers fire
+// only when Advance moves the clock past their due time, so tests exercise
+// job expiry without real sleeps.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	c       *fakeClock
+	at      time.Time
+	f       func()
+	stopped bool
+	fired   bool
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) AfterFunc(d time.Duration, f func()) timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{c: c, at: c.now.Add(d), f: f}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Advance moves the clock and fires every due timer. Callbacks run outside
+// the clock lock: a job's expiry callback takes the job mutex, and a
+// concurrent terminal transition holding that mutex may call Stop, which
+// takes the clock lock — firing under the lock would invert that order.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []*fakeTimer
+	for _, t := range c.timers {
+		if !t.stopped && !t.fired && !t.at.After(c.now) {
+			t.fired = true
+			due = append(due, t)
+		}
+	}
+	c.mu.Unlock()
+	for _, t := range due {
+		t.f()
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	c := newFakeClock()
+	var fired []int
+	c.AfterFunc(time.Second, func() { fired = append(fired, 1) })
+	two := c.AfterFunc(2*time.Second, func() { fired = append(fired, 2) })
+	c.AfterFunc(3*time.Second, func() { fired = append(fired, 3) })
+
+	c.Advance(time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("after 1s: fired %v", fired)
+	}
+	if !two.Stop() {
+		t.Fatal("stopping a pending timer must report true")
+	}
+	if two.Stop() {
+		t.Fatal("double stop must report false")
+	}
+	c.Advance(5 * time.Second)
+	if len(fired) != 2 || fired[1] != 3 {
+		t.Fatalf("after 6s: fired %v (stopped timer must not fire)", fired)
+	}
+	if want := time.Unix(1700000000, 0).Add(6 * time.Second); !c.Now().Equal(want) {
+		t.Fatalf("now %v, want %v", c.Now(), want)
+	}
+}

@@ -37,6 +37,13 @@ type JobRequest struct {
 	Threshold float64 `json:"threshold,omitempty"`
 	// MemoryBudgetMB arms the memory Guardian (0 = disabled).
 	MemoryBudgetMB int `json:"memory_budget_mb,omitempty"`
+	// TopK is ranked mode's result budget: the job returns the k
+	// best-scoring FDs and terminates as soon as that prefix is provably
+	// stable (0 = rank the complete cover). Ignored by the other modes.
+	TopK int `json:"top_k,omitempty"`
+	// MinScore is ranked mode's score floor: results below it are dropped
+	// and the run stops once no candidate can reach it (0 = disabled).
+	MinScore float64 `json:"min_score,omitempty"`
 }
 
 // JobStatus is a job's lifecycle state.
@@ -54,13 +61,29 @@ const (
 // JobResult is the payload of a finished job. FDs/AFDs/UCCs are rendered
 // against the dataset's column names, one dependency per string, in the
 // engine's canonical (deterministic) order — a warm job's fds lines are
-// byte-identical to a cold cmd/hyfd run on the same input.
+// byte-identical to a cold cmd/hyfd run on the same input. Ranked jobs fill
+// Ranked instead, in score order; while such a job is still running (or
+// after a cancel that beat completion), GET synthesizes a Partial result
+// from the ranks streamed so far — the any-time contract.
 type JobResult struct {
-	FDs   []string    `json:"fds,omitempty"`
-	AFDs  []string    `json:"afds,omitempty"`
-	UCCs  []string    `json:"uccs,omitempty"`
-	Count int         `json:"count"`
-	Stats *hyfd.Stats `json:"stats,omitempty"`
+	FDs    []string     `json:"fds,omitempty"`
+	AFDs   []string     `json:"afds,omitempty"`
+	UCCs   []string     `json:"uccs,omitempty"`
+	Ranked []RankedItem `json:"ranked,omitempty"`
+	// Partial marks a ranked payload assembled mid-run: it carries the
+	// stable prefix emitted so far, not the job's final result. Every rank
+	// in it is final — later polls only ever append.
+	Partial bool        `json:"partial,omitempty"`
+	Count   int         `json:"count"`
+	Stats   *hyfd.Stats `json:"stats,omitempty"`
+}
+
+// RankedItem is one ranked-mode result: an FD rendered against the
+// dataset's column names with its score and final 1-based rank.
+type RankedItem struct {
+	FD    string  `json:"fd"`
+	Score float64 `json:"score"`
+	Rank  int     `json:"rank"`
 }
 
 // JobView is the JSON representation of a job (GET /v1/jobs/{id}).
@@ -102,14 +125,45 @@ type job struct {
 	root      tracing.SpanID
 	queueSpan tracing.SpanID
 
+	// deadline stops the job's expiry callback once it reaches a terminal
+	// state; nil when the job runs unbounded.
+	deadline timer
+
 	mu        sync.Mutex
 	status    JobStatus
 	err       error
 	result    *JobResult
+	timedOut  bool         // the deadline timer fired; classify the abort as 504
+	ranked    []RankedItem // ranked-mode results streamed so far, in rank order
 	createdAt time.Time
 	startedAt time.Time
 	doneAt    time.Time
 	done      chan struct{} // closed on reaching a terminal status
+}
+
+// expire is the deadline timer's callback: it marks the deadline as the
+// abort cause and cancels the run. The terminal classification happens in
+// execute once the engine unwinds.
+func (j *job) expire() {
+	j.mu.Lock()
+	j.timedOut = true
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// deadlineExpired reports whether the job's deadline timer fired.
+func (j *job) deadlineExpired() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.timedOut
+}
+
+// appendRanked records one streamed ranked result; results arrive in rank
+// order from the engine's coordinating goroutine.
+func (j *job) appendRanked(it RankedItem) {
+	j.mu.Lock()
+	j.ranked = append(j.ranked, it)
+	j.mu.Unlock()
 }
 
 // view snapshots the job for JSON rendering.
@@ -126,6 +180,13 @@ func (j *job) view() JobView {
 	if j.err != nil {
 		v.Error = j.err.Error()
 		v.ErrorStatus = StatusFor(j.err)
+	}
+	// A ranked job without a final payload — still running, or terminal
+	// without completing — exposes the stable prefix streamed so far.
+	if v.Result == nil && len(j.ranked) > 0 {
+		items := make([]RankedItem, len(j.ranked))
+		copy(items, j.ranked)
+		v.Result = &JobResult{Ranked: items, Count: len(items), Partial: true}
 	}
 	switch j.status {
 	case StatusQueued:
@@ -160,6 +221,9 @@ func (j *job) transition(status JobStatus, result *JobResult, err error) bool {
 	switch status {
 	case StatusDone, StatusFailed, StatusCanceled:
 		j.doneAt = time.Now()
+		if j.deadline != nil {
+			j.deadline.Stop()
+		}
 		close(j.done)
 	}
 	return true
@@ -259,6 +323,12 @@ func (s *jobStore) running() []*job {
 func renderResult(res *hyfd.Result, rel *hyfd.Relation) *JobResult {
 	out := &JobResult{Stats: res.Stats}
 	switch {
+	case res.Ranked != nil:
+		out.Ranked = make([]RankedItem, 0, len(res.Ranked))
+		for _, r := range res.Ranked {
+			out.Ranked = append(out.Ranked, RankedItem{FD: r.FD.Format(rel), Score: r.Score, Rank: r.Rank})
+		}
+		out.Count = len(out.Ranked)
 	case res.Set != nil:
 		out.FDs = make([]string, 0, len(res.FDs))
 		for _, f := range res.FDs {
@@ -279,6 +349,21 @@ func renderResult(res *hyfd.Result, rel *hyfd.Relation) *JobResult {
 		out.Count = len(out.UCCs)
 	}
 	return out
+}
+
+// renderRanked formats one streamed ranked-result event against the
+// relation's column names, matching the terminal JobResult rendering (and
+// fd.Format's style).
+func renderRanked(ev hyfd.RankedResult, rel *hyfd.Relation) RankedItem {
+	names := make([]string, 0, len(ev.Lhs))
+	for _, a := range ev.Lhs {
+		names = append(names, rel.Columns[a])
+	}
+	return RankedItem{
+		FD:    "[" + strings.Join(names, ",") + "] -> " + rel.Columns[ev.Rhs],
+		Score: ev.Score,
+		Rank:  ev.Rank,
+	}
 }
 
 // renderAttrs formats an attribute set as [col1,col2], matching cmd/hyfd's
@@ -311,11 +396,19 @@ func mapRequest(req JobRequest, ds *hyfd.Dataset) (hyfd.Request, error) {
 				hyfd.ErrUnknownAlgorithm, req.Algorithm, hyfd.Algorithms())
 		}
 	}
+	if req.TopK < 0 {
+		return hyfd.Request{}, fmt.Errorf("%w: top_k must be >= 0 (got %d)", ErrBadRequest, req.TopK)
+	}
+	if req.MinScore < 0 {
+		return hyfd.Request{}, fmt.Errorf("%w: min_score must be >= 0 (got %g)", ErrBadRequest, req.MinScore)
+	}
 	return hyfd.Request{
 		Dataset:   ds,
 		Algorithm: req.Algorithm,
 		Mode:      mode,
 		MaxError:  req.MaxError,
+		TopK:      req.TopK,
+		MinScore:  req.MinScore,
 		Options: hyfd.Options{
 			EfficiencyThreshold: req.Threshold,
 			Threads:             req.Threads,

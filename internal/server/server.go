@@ -1,7 +1,9 @@
 // Package server implements hyfdd's multi-tenant profiling service: a
 // long-running HTTP daemon that registers datasets by name (preparing each
 // exactly once into the immutable Dataset layer) and serves concurrent
-// FD/AFD/UCC discovery jobs over a versioned JSON API.
+// FD/AFD/UCC/ranked discovery jobs over a versioned JSON API. Ranked jobs
+// stream: every stabilized rank is visible through GET /v1/jobs/{id} while
+// the job still runs, marked partial until the run completes.
 //
 // # Architecture
 //
@@ -80,6 +82,10 @@ type Config struct {
 	// completions, rejections, shutdown) with job and request ids; nil
 	// discards them.
 	Logger *slog.Logger
+
+	// clock injects a fake time source for the job-deadline path in tests;
+	// nil uses the real clock.
+	clock clock
 }
 
 // Server is one hyfdd instance. Create with New, mount Handler, call Start,
@@ -146,6 +152,9 @@ func New(ctx context.Context, cfg Config) *Server {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
+	}
+	if cfg.clock == nil {
+		cfg.clock = realClock{}
 	}
 	s := &Server{
 		base:     ctx,
@@ -241,11 +250,6 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 	}
 
 	jctx, cancel := context.WithCancel(s.base)
-	if req.DeadlineMs > 0 {
-		jctx, cancel = context.WithDeadline(s.base, time.Now().Add(time.Duration(req.DeadlineMs)*time.Millisecond))
-	} else if s.cfg.DefaultDeadline > 0 {
-		jctx, cancel = context.WithDeadline(s.base, time.Now().Add(s.cfg.DefaultDeadline))
-	}
 	j := &job{
 		ctx:       jctx,
 		cancel:    cancel,
@@ -258,6 +262,14 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 		rec:       rec,
 		root:      root,
 	}
+	// The deadline counts from submission — queue wait included — and is
+	// enforced by the clock seam (a timer canceling the job context) rather
+	// than context.WithDeadline, so tests can drive expiry without sleeping.
+	if d := time.Duration(req.DeadlineMs) * time.Millisecond; d > 0 {
+		j.deadline = s.cfg.clock.AfterFunc(d, j.expire)
+	} else if s.cfg.DefaultDeadline > 0 {
+		j.deadline = s.cfg.clock.AfterFunc(s.cfg.DefaultDeadline, j.expire)
+	}
 
 	// Admission control: claim a queue slot or reject immediately — a full
 	// queue must never block the HTTP handler.
@@ -265,6 +277,9 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 	case s.queue <- j:
 	default:
 		cancel()
+		if j.deadline != nil {
+			j.deadline.Stop()
+		}
 		s.inst.rejected.Inc()
 		s.log.Warn("job rejected", "dataset", req.Dataset, "queue_depth", s.cfg.QueueDepth)
 		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
@@ -313,6 +328,16 @@ func (s *Server) execute(j *job) {
 	runSpan := j.rec.Start(spanRun, j.root,
 		tracing.String("mode", string(req.Mode)), tracing.Int("threads", req.Options.Threads))
 	req.Options.Observer = trace.Multi(req.Options.Observer, j.rec.Observer(runSpan))
+	if req.Mode == hyfd.ModeRanked {
+		// Ranked jobs stream: each stabilized rank lands on the job record
+		// the moment the engine emits it, so GET mid-run returns the prefix.
+		rel := j.ds.Relation()
+		req.Options.Observer = trace.Multi(req.Options.Observer, trace.ObserverFunc(func(e trace.Event) {
+			if ev, ok := e.(trace.RankedResult); ok {
+				j.appendRanked(renderRanked(ev, rel))
+			}
+		}))
+	}
 	start := time.Now()
 	res, err := hyfd.Run(j.ctx, req)
 	elapsed := time.Since(start)
@@ -327,6 +352,13 @@ func (s *Server) execute(j *job) {
 		j.rec.End(encSpan, tracing.Int("count", result.Count))
 		if j.transition(StatusDone, result, nil) {
 			s.inst.jobsTotal.With(string(StatusDone)).Inc()
+		}
+	case j.deadlineExpired():
+		// The deadline timer canceled the context, so the engine reports a
+		// plain cancellation; reclassify it as the timeout it is (504).
+		err = fmt.Errorf("job deadline exceeded: %w", context.DeadlineExceeded)
+		if j.transition(StatusFailed, nil, err) {
+			s.inst.jobsTotal.With(string(StatusFailed)).Inc()
 		}
 	case jobCanceled(err):
 		if j.transition(StatusCanceled, nil, err) {

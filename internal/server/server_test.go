@@ -264,6 +264,41 @@ func TestJobAllModes(t *testing.T) {
 			t.Fatalf("ucc job: %+v", view)
 		}
 	})
+	t.Run("ranked", func(t *testing.T) {
+		view := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "t", Mode: "ranked"}).ID)
+		if view.Status != StatusDone || view.Result == nil || len(view.Result.Ranked) == 0 {
+			t.Fatalf("ranked job: %+v", view)
+		}
+		res := view.Result
+		if res.Partial {
+			t.Fatal("finished ranked job must not report a partial result")
+		}
+		if res.Count != len(res.Ranked) {
+			t.Fatalf("count %d != %d ranked", res.Count, len(res.Ranked))
+		}
+		for i, it := range res.Ranked {
+			if it.Rank != i+1 {
+				t.Fatalf("rank[%d] = %d, want %d", i, it.Rank, i+1)
+			}
+			if i > 0 && it.Score > res.Ranked[i-1].Score {
+				t.Fatalf("scores not monotone at %d: %g after %g", i, it.Score, res.Ranked[i-1].Score)
+			}
+			if it.FD == "" {
+				t.Fatalf("ranked[%d] has empty FD rendering", i)
+			}
+		}
+
+		// top_k returns exactly the prefix of the full ranking.
+		capped := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "t", Mode: "ranked", TopK: 2}).ID)
+		if capped.Status != StatusDone || capped.Result == nil || len(capped.Result.Ranked) != 2 {
+			t.Fatalf("top-2 job: %+v", capped)
+		}
+		for i, it := range capped.Result.Ranked {
+			if it != res.Ranked[i] {
+				t.Fatalf("top-2 not a prefix of the full ranking at %d: %+v vs %+v", i, it, res.Ranked[i])
+			}
+		}
+	})
 }
 
 func TestJobValidation(t *testing.T) {
@@ -279,6 +314,9 @@ func TestJobValidation(t *testing.T) {
 		"unknown algorithm": {`{"dataset":"t","algorithm":"NoSuchAlg"}`, http.StatusBadRequest},
 		"unknown mode":      {`{"dataset":"t","mode":"xfd"}`, http.StatusBadRequest},
 		"algorithm in afd":  {`{"dataset":"t","mode":"afd","algorithm":"Tane"}`, http.StatusBadRequest},
+		"algorithm ranked":  {`{"dataset":"t","mode":"ranked","algorithm":"Tane"}`, http.StatusBadRequest},
+		"negative top_k":    {`{"dataset":"t","mode":"ranked","top_k":-1}`, http.StatusBadRequest},
+		"negative min":      {`{"dataset":"t","mode":"ranked","min_score":-0.5}`, http.StatusBadRequest},
 	} {
 		code, data := do(t, "POST", ts.URL+"/v1/jobs", tc.body)
 		if code != tc.want {
@@ -387,17 +425,144 @@ func TestQueueFull429(t *testing.T) {
 	}
 }
 
-// TestJobDeadline: a per-job deadline_ms lands the job in failed with the
-// 504 error status once it expires mid-run.
+// TestJobDeadline: a job deadline lands the job in failed with the 504
+// error status once it expires mid-run. Expiry is driven through the fake
+// clock — no real time passes waiting for the deadline.
 func TestJobDeadline(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
-	registerCSV(t, ts, "slow", slowCSV())
-	view := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "slow", Algorithm: "FD_Mine", DeadlineMs: 50}).ID)
-	if view.Status != StatusFailed {
-		t.Fatalf("status %s, want failed", view.Status)
+	t.Run("deadline_ms", func(t *testing.T) {
+		fc := newFakeClock()
+		_, ts := newTestServer(t, Config{Workers: 1, clock: fc})
+		registerCSV(t, ts, "slow", slowCSV())
+		id := submitJob(t, ts, JobRequest{Dataset: "slow", Algorithm: "FD_Mine", DeadlineMs: 60_000}).ID
+		waitStatus(t, ts, id, StatusRunning)
+		fc.Advance(61 * time.Second)
+		view := waitTerminal(t, ts, id)
+		if view.Status != StatusFailed {
+			t.Fatalf("status %s, want failed", view.Status)
+		}
+		if view.ErrorStatus != http.StatusGatewayTimeout {
+			t.Fatalf("error status %d, want 504", view.ErrorStatus)
+		}
+	})
+	t.Run("default deadline", func(t *testing.T) {
+		fc := newFakeClock()
+		_, ts := newTestServer(t, Config{Workers: 1, DefaultDeadline: time.Minute, clock: fc})
+		registerCSV(t, ts, "slow", slowCSV())
+		id := submitJob(t, ts, JobRequest{Dataset: "slow", Algorithm: "FD_Mine"}).ID
+		waitStatus(t, ts, id, StatusRunning)
+		fc.Advance(2 * time.Minute)
+		view := waitTerminal(t, ts, id)
+		if view.Status != StatusFailed || view.ErrorStatus != http.StatusGatewayTimeout {
+			t.Fatalf("default deadline: status %s error %d, want failed/504", view.Status, view.ErrorStatus)
+		}
+	})
+	t.Run("finishing stops the timer", func(t *testing.T) {
+		fc := newFakeClock()
+		_, ts := newTestServer(t, Config{Workers: 1, clock: fc})
+		registerCSV(t, ts, "t", tinyCSV)
+		view := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "t", DeadlineMs: 60_000}).ID)
+		if view.Status != StatusDone {
+			t.Fatalf("status %s, want done", view.Status)
+		}
+		// Advancing past the deadline after completion must not disturb the
+		// terminal state.
+		fc.Advance(61 * time.Second)
+		if view := getJob(t, ts, view.ID); view.Status != StatusDone {
+			t.Fatalf("post-completion expiry flipped status to %s", view.Status)
+		}
+	})
+}
+
+// rankedStreamCSV builds a relation whose ranked run streams: the constant
+// column's {} -> konst stabilizes at rank 1 after the first validation level
+// (every other candidate scores at most 1/3), while the fourteen random
+// domain-3 columns keep the engine validating for hundreds of milliseconds —
+// a wide window for mid-run polls.
+func rankedStreamCSV() string {
+	r := rand.New(rand.NewSource(7))
+	var b strings.Builder
+	cols := 14
+	b.WriteString("konst")
+	for j := 0; j < cols; j++ {
+		fmt.Fprintf(&b, ",c%d", j)
 	}
-	if view.ErrorStatus != http.StatusGatewayTimeout {
-		t.Fatalf("error status %d, want 504", view.ErrorStatus)
+	b.WriteByte('\n')
+	for i := 0; i < 4000; i++ {
+		b.WriteString("k")
+		for j := 0; j < cols; j++ {
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(r.Intn(3)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestJobRankedStreamAndCancel: a running ranked job exposes its stabilized
+// ranks through GET as a partial result (the any-time stream), and canceling
+// the job after results arrived keeps them retrievable with 200.
+func TestJobRankedStreamAndCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	registerCSV(t, ts, "stream", rankedStreamCSV())
+	id := submitJob(t, ts, JobRequest{Dataset: "stream", Mode: "ranked", Threads: 1}).ID
+
+	// Poll until the any-time stream surfaces at least one stabilized rank.
+	var partial JobView
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no partial ranked result surfaced mid-run")
+		}
+		v := getJob(t, ts, id)
+		switch v.Status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			t.Fatalf("job terminal (%s) before a mid-run poll saw results: %s", v.Status, v.Error)
+		}
+		if v.Result != nil && len(v.Result.Ranked) > 0 {
+			partial = v
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !partial.Result.Partial {
+		t.Fatalf("mid-run ranked result must be marked partial: %+v", partial.Result)
+	}
+	for i, it := range partial.Result.Ranked {
+		if it.Rank != i+1 {
+			t.Fatalf("partial rank[%d] = %d, want %d", i, it.Rank, i+1)
+		}
+		if i > 0 && it.Score > partial.Result.Ranked[i-1].Score {
+			t.Fatalf("partial scores not monotone at %d", i)
+		}
+	}
+
+	// Early-cancel: the stabilized prefix survives the cancel, and GET keeps
+	// answering 200 — ranks already emitted are final.
+	if code, data := do(t, "DELETE", ts.URL+"/v1/jobs/"+id, ""); code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, data)
+	}
+	view := waitTerminal(t, ts, id)
+	if view.Status != StatusCanceled {
+		t.Fatalf("status %s, want canceled", view.Status)
+	}
+	code, data := do(t, "GET", ts.URL+"/v1/jobs/"+id, "")
+	if code != http.StatusOK {
+		t.Fatalf("GET after cancel: %d", code)
+	}
+	var after JobView
+	if err := json.Unmarshal(data, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Result == nil || !after.Result.Partial || len(after.Result.Ranked) < len(partial.Result.Ranked) {
+		t.Fatalf("canceled ranked job must keep its partial results: %+v", after.Result)
+	}
+	for i, it := range partial.Result.Ranked {
+		if after.Result.Ranked[i] != it {
+			t.Fatalf("emitted rank %d changed after cancel: %+v vs %+v", i+1, after.Result.Ranked[i], it)
+		}
+	}
+	if after.ErrorStatus != StatusClientClosedRequest {
+		t.Fatalf("error status %d, want %d", after.ErrorStatus, StatusClientClosedRequest)
 	}
 }
 

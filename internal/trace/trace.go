@@ -142,6 +142,25 @@ type GuardianPrune struct {
 	FootprintBytes int64
 }
 
+// RankedResult reports one FD of a ranked (top-k) run the moment its final
+// position in the ranking becomes stable — the any-time result stream.
+// Events arrive in rank order (1, 2, ...) and a rank, once reported, never
+// changes; consumers may render results incrementally while the run is
+// still refining lower ranks. The attribute indices are plain ints so
+// observers need no dependency on the engine's set types.
+type RankedResult struct {
+	// Rank is the FD's final 1-based position in the ranked order.
+	Rank int
+	// Score is the FD's redundancy score (see internal/rank).
+	Score float64
+	// Lhs holds the determinant attribute indices in ascending order.
+	Lhs []int
+	// Rhs is the dependent attribute index.
+	Rhs int
+	// Duration is the elapsed run time when the rank stabilized.
+	Duration time.Duration
+}
+
 // Done reports run completion. It is the final event of every successful
 // run; canceled runs end without it.
 type Done struct {
@@ -158,6 +177,7 @@ func (SamplingRound) event()     {}
 func (PhaseSwitch) event()       {}
 func (ValidationLevel) event()   {}
 func (GuardianPrune) event()     {}
+func (RankedResult) event()      {}
 func (Done) event()              {}
 
 // Observer receives trace events during a discovery run.

@@ -39,6 +39,7 @@ const (
 	SpanValidationLevel = "validation.level"
 	SpanPhaseSwitch     = "phase.switch"
 	SpanGuardianPrune   = "guardian.prune"
+	SpanRankedResult    = "ranked.result"
 	SpanEngineDone      = "engine.done"
 )
 
@@ -75,6 +76,9 @@ func (b *bridge) Observe(e trace.Event) {
 		b.rec.Instant(SpanGuardianPrune, b.parent,
 			Int("max_lhs", ev.MaxLhs), Int("interventions", ev.Interventions),
 			Int64("footprint_bytes", ev.FootprintBytes))
+	case trace.RankedResult:
+		b.rec.Instant(SpanRankedResult, b.parent,
+			Int("rank", ev.Rank), Float("score", ev.Score), Int("rhs", ev.Rhs))
 	case trace.Done:
 		b.rec.Instant(SpanEngineDone, b.parent, Int("fds", ev.FDs))
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hyfd/internal/bitset"
+	"hyfd/internal/fd"
 	"hyfd/internal/fdtree"
 	"hyfd/internal/invariant"
 	"hyfd/internal/metrics"
@@ -36,6 +37,10 @@ type Result struct {
 	Suggestions []pli.Pair
 	// ValidFds / InvalidFds count candidate validations of this run.
 	ValidFds, InvalidFds int
+	// Stopped is true when a WithLevelFunc callback ended the run early
+	// (ranked top-k cut). The tree then still holds unvalidated candidates
+	// and Done is false.
+	Stopped bool
 }
 
 // Validator validates FD candidates level-wise against the full dataset.
@@ -52,6 +57,7 @@ type Validator struct {
 	cache     *pli.Cache
 	observer  trace.Observer
 	inst      metrics.ValidatorInstruments
+	levelFn   func(level int, valid []fd.FD) bool
 
 	levelNumber int
 
@@ -93,6 +99,16 @@ func WithObserver(o trace.Observer) Option {
 // trace.ValidationLevel event fires so observers read current totals.
 func WithInstruments(in metrics.ValidatorInstruments) Option {
 	return func(v *Validator) { v.inst = in }
+}
+
+// WithLevelFunc registers a per-level callback for ranked discovery. After
+// each level completes — specializations applied, trace event emitted — fn
+// receives the finished level number and the FDs it validated, in the
+// level's deterministic node order (each LHS is an independent clone).
+// Returning false stops the run immediately with Result.Stopped set. The
+// callback runs on the coordinating goroutine, never concurrently.
+func WithLevelFunc(fn func(level int, valid []fd.FD) bool) Option {
+	return func(v *Validator) { v.levelFn = fn }
 }
 
 // WithIntersectionValidation replaces HyFD's direct refinement checks with
@@ -153,6 +169,7 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 		suggestionsBefore := len(res.Suggestions)
 		numValid, numInvalid := 0, 0
 		var invalids []invalidFd
+		var levelValid []fd.FD
 		results, err := v.validateLevel(ctx, level)
 		if err != nil {
 			return nil, err
@@ -168,6 +185,12 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 			numInvalid += len(r.invalid)
 			invalids = append(invalids, r.invalid...)
 			res.Suggestions = append(res.Suggestions, r.suggestions...)
+			if v.levelFn != nil {
+				r.valid.ForEach(func(rhs int) bool {
+					levelValid = append(levelValid, fd.FD{Lhs: nd.Lhs.Clone(), Rhs: rhs})
+					return true
+				})
+			}
 		}
 		res.ValidFds += numValid
 		res.InvalidFds += numInvalid
@@ -192,6 +215,11 @@ func (v *Validator) Run(ctx context.Context, exhaustive bool) (*Result, error) {
 			Duration: time.Since(levelStart),
 		})
 		v.levelNumber++
+
+		if v.levelFn != nil && !v.levelFn(v.levelNumber-1, levelValid) {
+			res.Stopped = true
+			return res, nil
+		}
 
 		// Phase-switch check (Alg. 4 line 36): the level produced too many
 		// invalid candidates, so the approximation is still poor.

@@ -1,12 +1,15 @@
 package hyfd_test
 
 import (
+	"context"
 	"math/rand"
+	"sort"
 	"strconv"
 	"testing"
 
 	"hyfd"
 	"hyfd/internal/fd"
+	"hyfd/internal/rank"
 )
 
 // Metamorphic properties of FD discovery: the discovered dependency set is
@@ -141,5 +144,137 @@ func TestMetamorphicColumnPermutationConsistency(t *testing.T) {
 			t.Fatalf("column permutation inconsistent:\nmissing: %v\nextra: %v",
 				want.Diff(got), got.Diff(want))
 		}
+	})
+}
+
+// --- ranked top-k metamorphic properties ---
+//
+// The ranked mode's score is a function of the per-attribute
+// equivalence-class counts, so content-preserving transformations must
+// preserve the ranked list exactly — same FDs, same scores, same order.
+
+// rankedList runs a ranked discovery and returns its result list.
+func rankedList(t *testing.T, rel *hyfd.Relation, ns hyfd.NullSemantics, k int) []hyfd.RankedFD {
+	t.Helper()
+	res, err := hyfd.Run(context.Background(), hyfd.Request{
+		Relation: rel,
+		Mode:     hyfd.ModeRanked,
+		TopK:     k,
+		Options:  hyfd.Options{NullSemantics: ns, Threads: 1},
+	})
+	if err != nil {
+		t.Fatalf("ranked k=%d: %v", k, err)
+	}
+	return res.Ranked
+}
+
+// requireSameRanking fails unless the two ranked lists agree entry by entry
+// on rank, score, and FD.
+func requireSameRanking(t *testing.T, got, want []hyfd.RankedFD, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ranked results, want %d\ngot: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Rank != w.Rank || g.Score != w.Score || g.FD.Rhs != w.FD.Rhs || !g.FD.Lhs.Equal(w.FD.Lhs) {
+			t.Fatalf("%s: rank %d differs:\ngot:  %+v\nwant: %+v", label, i+1, g, w)
+		}
+	}
+}
+
+// forEachNullSemantics runs fn under both null semantics.
+func forEachNullSemantics(t *testing.T, fn func(t *testing.T, ns hyfd.NullSemantics)) {
+	for _, ns := range []hyfd.NullSemantics{hyfd.NullEqualsNull, hyfd.NullNotEqualsNull} {
+		ns := ns
+		t.Run("ns="+strconv.Itoa(int(ns)), func(t *testing.T) { fn(t, ns) })
+	}
+}
+
+// TestMetamorphicRankedRowShuffleInvariance: scores depend on equivalence
+// classes, never on row order, so permuting the rows must leave the ranked
+// list — entries, scores, and order — unchanged.
+func TestMetamorphicRankedRowShuffleInvariance(t *testing.T) {
+	rel := metamorphicRelation(60, 101)
+	shuffled := hyfd.NewRelation(rel.Name, rel.Columns)
+	perm := rand.New(rand.NewSource(202)).Perm(rel.NumRows())
+	for _, i := range perm {
+		shuffled.AppendRow(rel.Rows[i])
+	}
+	forEachNullSemantics(t, func(t *testing.T, ns hyfd.NullSemantics) {
+		for _, k := range []int{5, 0} {
+			requireSameRanking(t, rankedList(t, shuffled, ns, k), rankedList(t, rel, ns, k),
+				"row shuffle k="+strconv.Itoa(k))
+		}
+	})
+}
+
+// TestMetamorphicRankedRowDuplicationInvariance: duplicating rows of a
+// null-free relation preserves both the FD set and every attribute's
+// distinct-value count, so the ranked list must not change. Null-free is
+// essential: under ⊥≠⊥ a duplicated null is a *fresh* equivalence class, so
+// duplication legitimately changes scores (and can invalidate FDs) there.
+func TestMetamorphicRankedRowDuplicationInvariance(t *testing.T) {
+	rel := metamorphicRelation(50, 303)
+	for _, row := range rel.Rows {
+		if row[4] == hyfd.Null {
+			row[4] = "nn" // strip nulls: see the doc comment
+		}
+	}
+	dup := hyfd.NewRelation(rel.Name, rel.Columns)
+	r := rand.New(rand.NewSource(404))
+	for _, row := range rel.Rows {
+		dup.AppendRow(row)
+		if r.Intn(3) == 0 {
+			dup.AppendRow(row)
+		}
+	}
+	dup.AppendRow(rel.Rows[0]) // and one guaranteed duplicate
+	forEachNullSemantics(t, func(t *testing.T, ns hyfd.NullSemantics) {
+		for _, k := range []int{5, 0} {
+			requireSameRanking(t, rankedList(t, dup, ns, k), rankedList(t, rel, ns, k),
+				"row duplication k="+strconv.Itoa(k))
+		}
+	})
+}
+
+// TestMetamorphicRankedColumnPermutationConsistency: permuting columns
+// relabels attributes, so the ranked result must be the base result mapped
+// through the permutation and re-sorted — scores are index-free, but the
+// deterministic tie-break (Rhs, LHS key) follows the new labels. The full
+// ranking (k=0) is compared so a tie crossing the k boundary cannot make
+// the prefixes legitimately diverge.
+func TestMetamorphicRankedColumnPermutationConsistency(t *testing.T) {
+	rel := metamorphicRelation(60, 505)
+	// perm[old] = new attribute position.
+	perm := rand.New(rand.NewSource(606)).Perm(rel.NumCols())
+	cols := make([]string, rel.NumCols())
+	for old, new_ := range perm {
+		cols[new_] = rel.Columns[old]
+	}
+	permuted := hyfd.NewRelation(rel.Name, cols)
+	for _, row := range rel.Rows {
+		prow := make([]string, len(row))
+		for old, new_ := range perm {
+			prow[new_] = row[old]
+		}
+		permuted.AppendRow(prow)
+	}
+	forEachNullSemantics(t, func(t *testing.T, ns hyfd.NullSemantics) {
+		base := rankedList(t, rel, ns, 0)
+		want := make([]hyfd.RankedFD, 0, len(base))
+		for _, e := range base {
+			lhs := hyfd.NewAttrSet(rel.NumCols())
+			e.FD.Lhs.ForEach(func(a int) bool {
+				lhs.Set(perm[a])
+				return true
+			})
+			want = append(want, hyfd.RankedFD{FD: hyfd.FD{Lhs: lhs, Rhs: perm[e.FD.Rhs]}, Score: e.Score})
+		}
+		sort.Slice(want, func(i, j int) bool { return rank.Less(want[i], want[j]) })
+		for i := range want {
+			want[i].Rank = i + 1
+		}
+		requireSameRanking(t, rankedList(t, permuted, ns, 0), want, "column permutation")
 	})
 }

@@ -47,6 +47,9 @@ type (
 	ValidationLevel = trace.ValidationLevel
 	// GuardianPrune reports a memory-Guardian intervention.
 	GuardianPrune = trace.GuardianPrune
+	// RankedResult reports one ranked-mode FD the moment its final rank
+	// stabilized — the any-time result stream of ModeRanked runs.
+	RankedResult = trace.RankedResult
 	// Done marks the end of a discovery run.
 	Done = trace.Done
 )

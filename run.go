@@ -15,15 +15,16 @@ import (
 )
 
 // Mode selects the discovery workload of a Run request: exact functional
-// dependencies, approximate functional dependencies (g3 error), or unique
-// column combinations.
+// dependencies, approximate functional dependencies (g3 error), unique
+// column combinations, or ranked top-k FD discovery.
 type Mode string
 
-// The three discovery workloads.
+// The four discovery workloads.
 const (
-	ModeFD  Mode = "fd"
-	ModeAFD Mode = "afd"
-	ModeUCC Mode = "ucc"
+	ModeFD     Mode = "fd"
+	ModeAFD    Mode = "afd"
+	ModeUCC    Mode = "ucc"
+	ModeRanked Mode = "ranked"
 )
 
 // ErrUnknownMode is returned (wrapped) by Run and ParseMode when the mode
@@ -31,7 +32,9 @@ const (
 var ErrUnknownMode = errors.New("unknown mode")
 
 // Modes lists the valid mode names.
-func Modes() []string { return []string{string(ModeFD), string(ModeAFD), string(ModeUCC)} }
+func Modes() []string {
+	return []string{string(ModeFD), string(ModeAFD), string(ModeUCC), string(ModeRanked)}
+}
 
 // ParseMode normalizes a mode string ("" and "fd" are exact FD discovery;
 // matching is case-insensitive). Unknown strings return an error wrapping
@@ -44,6 +47,8 @@ func ParseMode(s string) (Mode, error) {
 		return ModeAFD, nil
 	case ModeUCC:
 		return ModeUCC, nil
+	case ModeRanked:
+		return ModeRanked, nil
 	}
 	return "", fmt.Errorf("hyfd: %w %q (available: %s)", ErrUnknownMode, s, strings.Join(Modes(), ", "))
 }
@@ -70,6 +75,14 @@ type Request struct {
 	// MaxError is ModeAFD's g3 threshold ε ∈ [0,1); 0 reproduces exact
 	// discovery. Ignored by the other modes.
 	MaxError float64
+	// TopK is ModeRanked's result budget: the run returns the k best-scoring
+	// FDs and terminates as soon as that prefix is provably stable. 0 ranks
+	// the complete cover. Ignored by the other modes.
+	TopK int
+	// MinScore is ModeRanked's score floor: results scoring below it are
+	// dropped, and the run stops once no remaining candidate can reach it.
+	// 0 disables the floor. Ignored by the other modes.
+	MinScore float64
 	// Options carries the per-run tuning shared by all modes: MaxLhsSize
 	// bounds LHS/UCC sizes everywhere; Threads, EfficiencyThreshold,
 	// MemoryBudgetBytes, Observer, and Metrics apply to the HyFD engine.
@@ -101,6 +114,8 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 		return runFD(ctx, req)
 	case ModeAFD:
 		return runAFD(ctx, req)
+	case ModeRanked:
+		return runRanked(ctx, req)
 	default:
 		return runUCC(ctx, req)
 	}
@@ -169,6 +184,48 @@ func runFD(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 	return baselineResult(set, req.Relation.NumRows(), req.Relation.NumCols(), opts.MaxLhsSize, false, time.Since(start)), nil
+}
+
+// runRanked dispatches ranked top-k FD discovery. Only the HyFD engine
+// supports the ranked cut, so a non-empty Algorithm is rejected. The result
+// carries Ranked (score order, ranks assigned) plus Stats; Stats.Complete
+// is false when the run cut the lattice early — the results are still the
+// exact top-k of the full cover.
+func runRanked(ctx context.Context, req Request) (*Result, error) {
+	if req.Algorithm != "" {
+		return nil, fmt.Errorf("hyfd: %w %q (mode %q has a single built-in strategy; leave Algorithm empty)",
+			ErrUnknownAlgorithm, req.Algorithm, ModeRanked)
+	}
+	if req.TopK < 0 {
+		return nil, fmt.Errorf("hyfd: invalid TopK %d: must be >= 0", req.TopK)
+	}
+	if req.MinScore < 0 {
+		return nil, fmt.Errorf("hyfd: invalid MinScore %g: must be >= 0", req.MinScore)
+	}
+	opts := req.Options
+	cfg := core.Config{
+		NullSemantics:       opts.NullSemantics,
+		EfficiencyThreshold: opts.EfficiencyThreshold,
+		Threads:             opts.Threads,
+		MaxLhsSize:          opts.MaxLhsSize,
+		MemoryBudgetBytes:   opts.MemoryBudgetBytes,
+		Observer:            opts.Observer,
+		Metrics:             opts.Metrics,
+	}
+	var (
+		ranked []RankedFD
+		stats  *Stats
+		err    error
+	)
+	if req.Dataset != nil {
+		ranked, stats, err = core.DiscoverRankedDataset(ctx, req.Dataset, cfg, req.TopK, req.MinScore)
+	} else {
+		ranked, stats, err = core.DiscoverRanked(ctx, req.Relation, cfg, req.TopK, req.MinScore)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Ranked: ranked, Stats: stats}, nil
 }
 
 // runAFD dispatches approximate FD discovery (g3 ≤ Request.MaxError).
