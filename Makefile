@@ -4,7 +4,7 @@ GO ?= go
 # seconds; override BENCH_JSON_FLAGS for a full-scale artifact run.
 BENCH_JSON_FLAGS ?= -exp table1,ranked -inprocess -timeout 5s -table1-rows 100
 
-.PHONY: all build vet lint test test-invariants race check bench bench-json fuzz-smoke fuzz-smoke-ranked serve-smoke
+.PHONY: all build vet lint lint-json test test-invariants race check bench bench-json fuzz-smoke fuzz-smoke-ranked serve-smoke
 
 # Wall-clock budget of the bounded differential-fuzz smoke run.
 FUZZTIME ?= 30s
@@ -18,10 +18,18 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus hyfdvet, the project's own static-analysis suite
-# (determinism, ctxflow, hooksafe, goroutine, bitsetalias); any unsuppressed
-# finding fails the build.
+# (determinism, ctxflow, hooksafe, goroutine, bitsetalias, plus the
+# interprocedural tier: lockcheck, leakcheck, statusmap); any unsuppressed
+# finding fails the build, and -strict-allows additionally fails on
+# //hyfdvet:allow comments that no longer suppress anything.
 lint: vet
-	$(GO) run ./cmd/hyfdvet ./...
+	$(GO) run ./cmd/hyfdvet -strict-allows ./...
+
+# lint-json emits the same findings as one machine-readable document (CI
+# uploads it as an artifact).
+lint-json:
+	$(GO) run ./cmd/hyfdvet -strict-allows -json ./... > hyfdvet.json; \
+	status=$$?; cat hyfdvet.json; exit $$status
 
 test:
 	$(GO) test ./...

@@ -1,12 +1,13 @@
 // Command hyfdvet is hyfd's project-specific static-analysis driver: a
 // stdlib-only companion to `go vet` that loads the module, type-checks every
 // non-test package, and enforces the engine's determinism, context-flow,
-// hook-safety, goroutine-hygiene, and bitset-aliasing contracts (see
-// internal/analysis and DESIGN.md §2d).
+// hook-safety, goroutine-hygiene, and bitset-aliasing contracts plus the
+// interprocedural serving-path tier — lock discipline, goroutine-leak, and
+// status-map exhaustiveness (see internal/analysis and DESIGN.md §2d, §2i).
 //
 // Usage:
 //
-//	hyfdvet [-list] [-rules rule1,rule2] [dir | ./...]
+//	hyfdvet [-list] [-rules rule1,rule2] [-json] [-strict-allows] [dir | ./...]
 //
 // The argument names a directory inside the module to analyze from (the
 // whole module is always analyzed; `./...` is accepted for familiarity and
@@ -14,16 +15,24 @@
 //
 //	file:line: rule: message
 //
-// and their presence makes the process exit 1; load or usage errors exit 2.
+// or, under -json, as one JSON document with module-relative file paths and
+// per-finding severity levels — byte-stable across runs, for CI annotation
+// and artifact upload. -strict-allows additionally reports every
+// //hyfdvet:allow comment that suppresses nothing (a stale suppression), as
+// a warning-severity finding under the stale-allow pseudo-rule.
+//
+// Findings make the process exit 1; load or usage errors exit 2.
 // Individual findings are suppressed in source with an
 // `//hyfdvet:allow <rule> — <justification>` comment on the offending line
 // or the line above it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"hyfd/internal/analysis"
@@ -38,8 +47,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as one JSON document (module-relative paths, stable order)")
+	strictAllows := fs.Bool("strict-allows", false, "report //hyfdvet:allow comments that suppress nothing (stale suppressions)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: hyfdvet [-list] [-rules rule1,rule2] [dir | ./...]\n")
+		fmt.Fprintf(stderr, "usage: hyfdvet [-list] [-rules rule1,rule2] [-json] [-strict-allows] [dir | ./...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -53,11 +64,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 	if *rules != "" {
-		analyzers = selectRules(analyzers, *rules)
-		if analyzers == nil {
-			fmt.Fprintf(stderr, "hyfdvet: unknown rule in -rules=%s\n", *rules)
+		selected, unknown, ok := selectRules(analyzers, *rules)
+		if !ok {
+			fmt.Fprintf(stderr, "hyfdvet: unknown rule %q in -rules; valid rules: %s\n",
+				unknown, strings.Join(ruleNames(analyzers), ", "))
 			return 2
 		}
+		analyzers = selected
 	}
 	dir := "."
 	if fs.NArg() > 1 {
@@ -78,9 +91,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "hyfdvet: %v\n", err)
 		return 2
 	}
-	findings := analysis.Run(prog, analyzers)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	findings := analysis.RunWith(prog, analyzers, analysis.Options{StrictAllows: *strictAllows})
+	if *jsonOut {
+		if err := writeJSON(stdout, prog, findings); err != nil {
+			fmt.Fprintf(stderr, "hyfdvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "hyfdvet: %d finding(s)\n", len(findings))
@@ -89,20 +109,72 @@ func run(args []string, stdout, stderr *os.File) int {
 	return 0
 }
 
-// selectRules filters the analyzer set down to the named rules; it returns
-// nil if any name is unknown.
-func selectRules(all []*analysis.Analyzer, spec string) []*analysis.Analyzer {
+// jsonFinding is the wire form of one finding in -json mode. File is
+// module-relative with forward slashes, so the document is stable across
+// checkouts and operating systems.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Module   string        `json:"module"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// writeJSON renders the findings as one indented JSON document. Findings
+// arrive sorted from the analysis run, so equal inputs produce identical
+// bytes.
+func writeJSON(out *os.File, prog *analysis.Program, findings []analysis.Finding) error {
+	report := jsonReport{Module: prog.ModulePath, Findings: []jsonFinding{}}
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(prog.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		report.Findings = append(report.Findings, jsonFinding{
+			File:     file,
+			Line:     f.Pos.Line,
+			Rule:     f.Rule,
+			Severity: f.Severity,
+			Message:  f.Msg,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", data)
+	return err
+}
+
+// selectRules filters the analyzer set down to the named rules; on failure
+// ok is false and unknown holds the first unrecognized name.
+func selectRules(all []*analysis.Analyzer, spec string) (selected []*analysis.Analyzer, unknown string, ok bool) {
 	byName := map[string]*analysis.Analyzer{}
 	for _, az := range all {
 		byName[az.Name] = az
 	}
-	var out []*analysis.Analyzer
 	for _, name := range strings.Split(spec, ",") {
-		az := byName[strings.TrimSpace(name)]
+		name = strings.TrimSpace(name)
+		az := byName[name]
 		if az == nil {
-			return nil
+			return nil, name, false
 		}
-		out = append(out, az)
+		selected = append(selected, az)
 	}
-	return out
+	return selected, "", true
+}
+
+// ruleNames lists the analyzer names in suite order.
+func ruleNames(all []*analysis.Analyzer) []string {
+	names := make([]string, len(all))
+	for i, az := range all {
+		names[i] = az.Name
+	}
+	return names
 }

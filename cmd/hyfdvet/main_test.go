@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,7 +43,8 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, rule := range []string{"determinism", "ctxflow", "hooksafe", "goroutine", "bitsetalias"} {
+	for _, rule := range []string{"determinism", "ctxflow", "hooksafe", "goroutine", "bitsetalias",
+		"lockcheck", "leakcheck", "statusmap"} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("-list output missing %q:\n%s", rule, out)
 		}
@@ -69,7 +71,8 @@ func TestCorpusFails(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("hyfdvet on the corpus exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
 	}
-	for _, rule := range []string{"determinism:", "ctxflow:", "hooksafe:", "goroutine:", "bitsetalias:"} {
+	for _, rule := range []string{"determinism:", "ctxflow:", "hooksafe:", "goroutine:", "bitsetalias:",
+		"lockcheck:", "leakcheck:", "statusmap:"} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("corpus findings missing rule %q:\n%s", rule, out)
 		}
@@ -99,5 +102,95 @@ func TestUnknownRule(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "unknown rule") {
 		t.Errorf("stderr missing unknown-rule report: %q", errOut)
+	}
+}
+
+// TestUnknownRuleListsValid pins the improved error: the message names the
+// bad rule and enumerates the valid ones.
+func TestUnknownRuleListsValid(t *testing.T) {
+	code, _, errOut := runCapture(t, "-rules", "determinism,lokcheck", corpusArg)
+	if code != 2 {
+		t.Fatalf("unknown rule exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown rule "lokcheck"`) {
+		t.Errorf("stderr does not name the bad rule: %q", errOut)
+	}
+	for _, rule := range []string{"determinism", "lockcheck", "leakcheck", "statusmap"} {
+		if !strings.Contains(errOut, rule) {
+			t.Errorf("stderr's valid-rule list missing %q: %q", rule, errOut)
+		}
+	}
+}
+
+// TestJSONOutput pins the -json contract: a single document with
+// module-relative slash paths and severity levels, sorted by position, and
+// byte-stable across runs.
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runCapture(t, "-json", corpusArg)
+	if code != 1 {
+		t.Fatalf("-json corpus run exited %d, want 1", code)
+	}
+	var report struct {
+		Module   string `json:"module"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if report.Module != "hyfd" {
+		t.Errorf("module = %q, want hyfd", report.Module)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("-json corpus run reported no findings")
+	}
+	for i, f := range report.Findings {
+		if strings.Contains(f.File, "\\") || filepath.IsAbs(f.File) {
+			t.Errorf("finding %d file %q is not a module-relative slash path", i, f.File)
+		}
+		if f.Severity != "error" && f.Severity != "warning" {
+			t.Errorf("finding %d has severity %q", i, f.Severity)
+		}
+		if f.Rule == "" || f.Line <= 0 || f.Message == "" {
+			t.Errorf("finding %d is incomplete: %+v", i, f)
+		}
+		if i > 0 {
+			prev := report.Findings[i-1]
+			if prev.File > f.File || (prev.File == f.File && prev.Line > f.Line) {
+				t.Errorf("findings not sorted: %s:%d after %s:%d", f.File, f.Line, prev.File, prev.Line)
+			}
+		}
+	}
+	_, again, _ := runCapture(t, "-json", corpusArg)
+	if out != again {
+		t.Error("-json output differs between two identical runs")
+	}
+}
+
+// TestStrictAllowsCLI pins the stale-suppression sweep end to end: the
+// deliberately stale allow in the locks fixture surfaces as a
+// warning-severity stale-allow finding.
+func TestStrictAllowsCLI(t *testing.T) {
+	code, out, _ := runCapture(t, "-strict-allows", corpusArg)
+	if code != 1 {
+		t.Fatalf("-strict-allows corpus run exited %d, want 1", code)
+	}
+	if !strings.Contains(out, "stale-allow: //hyfdvet:allow lockcheck suppresses nothing") {
+		t.Errorf("-strict-allows output missing the stale locks suppression:\n%s", out)
+	}
+}
+
+// TestRepoStrictClean upgrades the self-application gate: even under
+// -strict-allows the repo must be clean — every in-tree suppression absorbs
+// a real finding.
+func TestRepoStrictClean(t *testing.T) {
+	code, out, errOut := runCapture(t, "-strict-allows", "../../...")
+	if code != 0 {
+		t.Fatalf("strict hyfdvet on the repo exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
 	}
 }

@@ -24,11 +24,22 @@ import (
 	"strings"
 )
 
+// Finding severity levels, for CI annotation via the -json output mode.
+const (
+	// SeverityError marks a contract violation: the build gate fails.
+	SeverityError = "error"
+	// SeverityWarning marks advisory findings (today: stale suppressions
+	// under -strict-allows). Warnings still fail the gate when present —
+	// the level only drives how CI renders the annotation.
+	SeverityWarning = "warning"
+)
+
 // Finding is one analyzer diagnostic, located in the module's sources.
 type Finding struct {
-	Pos  token.Position
-	Rule string
-	Msg  string
+	Pos      token.Position
+	Rule     string
+	Severity string
+	Msg      string
 }
 
 // String renders the finding in the canonical file:line: rule: message form.
@@ -61,8 +72,12 @@ type Program struct {
 	ModulePath string
 	// Pkgs lists the module's packages in import-path order.
 	Pkgs []*Package
+	// Root is the module's absolute root directory (the go.mod directory).
+	Root string
 
 	byPath map[string]*Package
+	cg     *CallGraph
+	facts  map[string]any
 }
 
 // Package returns the module package with the given import path, or nil.
@@ -82,9 +97,10 @@ type Pass struct {
 // Reportf records a finding at pos under the pass's analyzer rule name.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
-		Pos:  p.Prog.Fset.Position(pos),
-		Rule: p.analyzer.Name,
-		Msg:  fmt.Sprintf(format, args...),
+		Pos:      p.Prog.Fset.Position(pos),
+		Rule:     p.analyzer.Name,
+		Severity: SeverityError,
+		Msg:      fmt.Sprintf(format, args...),
 	})
 }
 
@@ -98,7 +114,10 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Analyzers returns the full hyfdvet analyzer suite, in stable order.
+// Analyzers returns the full hyfdvet analyzer suite, in stable order. The
+// first five are the single-function syntactic tier; lockcheck, leakcheck,
+// and statusmap are the interprocedural tier built on the module call graph
+// and the summary dataflow solver (callgraph.go, dataflow.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -106,13 +125,36 @@ func Analyzers() []*Analyzer {
 		HooksafeAnalyzer,
 		GoroutineAnalyzer,
 		BitsetAliasAnalyzer,
+		LockCheckAnalyzer,
+		LeakCheckAnalyzer,
+		StatusMapAnalyzer,
 	}
+}
+
+// Options tunes Run's filtering behavior.
+type Options struct {
+	// StrictAllows additionally reports every //hyfdvet:allow comment whose
+	// rule produced no finding on its line — a stale suppression that either
+	// outlived its violation or never matched one. Only suppressions naming
+	// a rule in the executed analyzer set are judged: running a rule subset
+	// must not condemn the other rules' suppressions.
+	StrictAllows bool
 }
 
 // Run executes the analyzers over every package of the program, filters
 // findings through //hyfdvet:allow suppressions, and returns the survivors
 // sorted by file, line, and rule.
 func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	return RunWith(prog, analyzers, Options{})
+}
+
+// StaleAllowRule is the pseudo-rule under which RunWith reports unused
+// suppressions when Options.StrictAllows is set. It is not itself
+// suppressible.
+const StaleAllowRule = "stale-allow"
+
+// RunWith is Run with options.
+func RunWith(prog *Program, analyzers []*Analyzer, opts Options) []Finding {
 	var findings []Finding
 	for _, az := range analyzers {
 		for _, pkg := range prog.Pkgs {
@@ -125,6 +167,24 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 	for _, f := range findings {
 		if !sup.allows(f) {
 			kept = append(kept, f)
+		}
+	}
+	if opts.StrictAllows {
+		ran := map[string]bool{}
+		for _, az := range analyzers {
+			ran[az.Name] = true
+		}
+		for _, site := range sup.sites {
+			if site.used || !ran[site.rule] {
+				continue
+			}
+			kept = append(kept, Finding{
+				Pos:      site.pos,
+				Rule:     StaleAllowRule,
+				Severity: SeverityWarning,
+				Msg: fmt.Sprintf("//hyfdvet:allow %s suppresses nothing on this line; delete the stale comment (or fix the rule name)",
+					site.rule),
+			})
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
@@ -146,13 +206,26 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 // allowPrefix introduces a suppression comment.
 const allowPrefix = "//hyfdvet:allow"
 
-// suppressions maps file → line → set of allowed rules on that line.
-type suppressions map[string]map[int]map[string]bool
+// suppSite is one //hyfdvet:allow comment; used flips when the suppression
+// absorbs at least one finding, so -strict-allows can report the rest.
+type suppSite struct {
+	pos  token.Position
+	rule string
+	used bool
+}
+
+// suppressions indexes the module's allow comments: byLine maps
+// file → line → rule → site for the filter, sites keeps comment order for
+// deterministic stale reporting.
+type suppressions struct {
+	byLine map[string]map[int]map[string]*suppSite
+	sites  []*suppSite
+}
 
 // collectSuppressions scans every comment of every module file for
 // //hyfdvet:allow markers.
-func collectSuppressions(prog *Program) suppressions {
-	sup := suppressions{}
+func collectSuppressions(prog *Program) *suppressions {
+	sup := &suppressions{byLine: map[string]map[int]map[string]*suppSite{}}
 	for _, pkg := range prog.Pkgs {
 		for _, file := range pkg.Files {
 			for _, cg := range file.Comments {
@@ -162,15 +235,19 @@ func collectSuppressions(prog *Program) suppressions {
 						continue
 					}
 					pos := prog.Fset.Position(c.Pos())
-					lines := sup[pos.Filename]
+					lines := sup.byLine[pos.Filename]
 					if lines == nil {
-						lines = map[int]map[string]bool{}
-						sup[pos.Filename] = lines
+						lines = map[int]map[string]*suppSite{}
+						sup.byLine[pos.Filename] = lines
 					}
 					if lines[pos.Line] == nil {
-						lines[pos.Line] = map[string]bool{}
+						lines[pos.Line] = map[string]*suppSite{}
 					}
-					lines[pos.Line][rule] = true
+					if lines[pos.Line][rule] == nil {
+						site := &suppSite{pos: pos, rule: rule}
+						lines[pos.Line][rule] = site
+						sup.sites = append(sup.sites, site)
+					}
 				}
 			}
 		}
@@ -196,11 +273,18 @@ func parseAllow(text string) (rule string, ok bool) {
 }
 
 // allows reports whether a suppression on the finding's line (or the line
-// directly above it) names the finding's rule.
-func (s suppressions) allows(f Finding) bool {
-	lines := s[f.Pos.Filename]
+// directly above it) names the finding's rule, marking the matching site as
+// used.
+func (s *suppressions) allows(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	return lines[f.Pos.Line][f.Rule] || lines[f.Pos.Line-1][f.Rule]
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if site := lines[line][f.Rule]; site != nil {
+			site.used = true
+			return true
+		}
+	}
+	return false
 }

@@ -122,3 +122,19 @@ func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
 func hasPathPrefix(path, prefix string) bool {
 	return path == prefix || strings.HasPrefix(path, prefix+"/")
 }
+
+// spawnedLits collects the function literals within n that are launched by a
+// `go` statement — bodies that run asynchronously and must be excluded from
+// the spawning function's synchronous analysis.
+func spawnedLits(n ast.Node) map[*ast.FuncLit]bool {
+	spawned := map[*ast.FuncLit]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				spawned[lit] = true
+			}
+		}
+		return true
+	})
+	return spawned
+}

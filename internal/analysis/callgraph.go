@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CGNode is one module-declared function (or method) in the call graph.
+// Callees and Callers list only module-declared functions — calls into the
+// stdlib or through interface values have no node and are classified by each
+// analyzer's local transfer function instead.
+type CGNode struct {
+	// Fn is the canonical (generic-origin) function object.
+	Fn *types.Func
+	// Decl is the function's declaration; Decl.Body may be nil for
+	// assembly/external stubs.
+	Decl *ast.FuncDecl
+	// Pkg is the package declaring the function.
+	Pkg *Package
+	// Callees are the module functions this function calls statically, in
+	// first-call-site order, deduplicated. Calls made inside nested function
+	// literals are attributed to this function too, except literals spawned
+	// by a `go` statement: those run asynchronously and appear as GoSpawns.
+	Callees []*types.Func
+	// Callers is the reverse edge set, in deterministic (graph) order.
+	Callers []*types.Func
+	// GoSpawns lists the `go` statements lexically inside this function
+	// (including inside its nested non-spawned literals).
+	GoSpawns []*GoSite
+}
+
+// GoSite is one `go` statement: either a named module/extern function call
+// (Callee, possibly nil when unresolvable) or a function literal (Lit).
+type GoSite struct {
+	Stmt *ast.GoStmt
+	// Callee is the spawned function when the operand is a named call and
+	// resolvable; nil for literals and dynamic calls.
+	Callee *types.Func
+	// Lit is the spawned function literal, when the operand is one.
+	Lit *ast.FuncLit
+}
+
+// CallGraph is the module-wide static call graph, built from the already
+// type-checked packages. It is deliberately flow-insensitive and ignores
+// dynamic dispatch (interface method calls and function values have no
+// edges); analyzers that need soundness there must treat unresolved calls
+// conservatively in their local transfer functions.
+type CallGraph struct {
+	prog  *Program
+	nodes map[*types.Func]*CGNode
+	// funcs is every node's function in deterministic order: package path,
+	// then declaration position.
+	funcs []*types.Func
+}
+
+// CallGraph returns the module call graph, building and caching it on first
+// use. Run executes analyzers sequentially, so no locking is needed.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p)
+	}
+	return p.cg
+}
+
+// Node returns the graph node for fn (or its generic origin), or nil for
+// functions not declared in the module.
+func (cg *CallGraph) Node(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return cg.nodes[fn.Origin()]
+}
+
+// Funcs lists every module-declared function in deterministic order.
+func (cg *CallGraph) Funcs() []*types.Func { return cg.funcs }
+
+// buildCallGraph walks every declared function body, resolving static call
+// sites to their canonical *types.Func objects.
+func buildCallGraph(prog *Program) *CallGraph {
+	cg := &CallGraph{prog: prog, nodes: map[*types.Func]*CGNode{}}
+	// First pass: one node per declared function.
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				cg.nodes[fn.Origin()] = &CGNode{Fn: fn.Origin(), Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+	// Second pass: edges and go-spawn sites.
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := cg.nodes[fn.Origin()]
+				seen := map[*types.Func]bool{}
+				// spawned collects the literals and call expressions run by
+				// `go` statements: the bodies execute asynchronously and must
+				// not contribute call edges to the spawning function (the go
+				// call's arguments still evaluate synchronously, so the walk
+				// descends into them).
+				spawned := map[*ast.FuncLit]bool{}
+				spawnedCalls := map[*ast.CallExpr]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						site := &GoSite{Stmt: n}
+						spawnedCalls[n.Call] = true
+						if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+							site.Lit = lit
+							spawned[lit] = true
+						} else if callee := calleeFunc(info, n.Call); callee != nil {
+							site.Callee = callee.Origin()
+						}
+						node.GoSpawns = append(node.GoSpawns, site)
+					case *ast.FuncLit:
+						if spawned[n] {
+							return false // async body: no synchronous edges
+						}
+					case *ast.CallExpr:
+						if spawnedCalls[n] {
+							return true // the spawned call runs on the new goroutine
+						}
+						callee := calleeFunc(info, n)
+						if callee == nil {
+							return true
+						}
+						origin := callee.Origin()
+						if cg.nodes[origin] != nil && !seen[origin] {
+							seen[origin] = true
+							node.Callees = append(node.Callees, origin)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Deterministic function order and reverse edges.
+	for fn := range cg.nodes {
+		cg.funcs = append(cg.funcs, fn)
+	}
+	sort.Slice(cg.funcs, func(i, j int) bool {
+		return cg.less(cg.funcs[i], cg.funcs[j])
+	})
+	for _, fn := range cg.funcs {
+		for _, callee := range cg.nodes[fn].Callees {
+			target := cg.nodes[callee]
+			target.Callers = append(target.Callers, fn)
+		}
+	}
+	return cg
+}
+
+// less orders functions by package path, then declaration position — a total
+// order that makes every graph listing reproducible across runs.
+func (cg *CallGraph) less(a, b *types.Func) bool {
+	na, nb := cg.nodes[a], cg.nodes[b]
+	if na.Pkg.Path != nb.Pkg.Path {
+		return na.Pkg.Path < nb.Pkg.Path
+	}
+	pa := cg.prog.Fset.Position(na.Decl.Pos())
+	pb := cg.prog.Fset.Position(nb.Decl.Pos())
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Offset < pb.Offset
+}
+
+// ReachableFrom computes the forward closure over call edges from the given
+// root functions (go-spawned named functions count as called).
+func (cg *CallGraph) ReachableFrom(roots []*types.Func) map[*types.Func]bool {
+	reached := map[*types.Func]bool{}
+	var queue []*types.Func
+	push := func(fn *types.Func) {
+		if fn == nil {
+			return
+		}
+		fn = fn.Origin()
+		if cg.nodes[fn] == nil || reached[fn] {
+			return
+		}
+		reached[fn] = true
+		queue = append(queue, fn)
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := cg.nodes[fn]
+		for _, callee := range node.Callees {
+			push(callee)
+		}
+		for _, site := range node.GoSpawns {
+			push(site.Callee)
+		}
+	}
+	return reached
+}
+
+// declPos renders a function's declaration position (for tests and debug
+// output).
+func (cg *CallGraph) declPos(fn *types.Func) token.Position {
+	if n := cg.Node(fn); n != nil {
+		return cg.prog.Fset.Position(n.Decl.Pos())
+	}
+	return token.Position{}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// corpusFunc locates a corpus function by package-path suffix and name.
+func corpusFunc(t *testing.T, cg *CallGraph, pkgSuffix, name string) *types.Func {
+	t.Helper()
+	for _, fn := range cg.Funcs() {
+		node := cg.Node(fn)
+		if strings.HasSuffix(node.Pkg.Path, pkgSuffix) && fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s.%s not in call graph", pkgSuffix, name)
+	return nil
+}
+
+func hasFunc(fns []*types.Func, want *types.Func) bool {
+	for _, fn := range fns {
+		if fn == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphEdges pins the static edges: a direct module call yields a
+// callee edge and the matching reverse edge.
+func TestCallGraphEdges(t *testing.T) {
+	cg := loadCorpus(t).CallGraph()
+	caller := corpusFunc(t, cg, "internal/locks", "SleepViaHelper")
+	callee := corpusFunc(t, cg, "internal/locks", "slowWrite")
+	if !hasFunc(cg.Node(caller).Callees, callee) {
+		t.Errorf("SleepViaHelper's callees lack slowWrite: %v", cg.Node(caller).Callees)
+	}
+	if !hasFunc(cg.Node(callee).Callers, caller) {
+		t.Errorf("slowWrite's callers lack SleepViaHelper: %v", cg.Node(callee).Callers)
+	}
+}
+
+// TestCallGraphGoSpawns pins the asynchronous split: go-spawned callees and
+// literals are recorded as GoSites, and a spawned literal's body contributes
+// no synchronous call edges to the spawner.
+func TestCallGraphGoSpawns(t *testing.T) {
+	cg := loadCorpus(t).CallGraph()
+
+	named := cg.Node(corpusFunc(t, cg, "cmd/leakdemo", "leakNamed"))
+	spin := corpusFunc(t, cg, "cmd/leakdemo", "spin")
+	if len(named.GoSpawns) != 1 || named.GoSpawns[0].Callee != spin {
+		t.Errorf("leakNamed GoSpawns = %+v, want one site spawning spin", named.GoSpawns)
+	}
+	if hasFunc(named.Callees, spin) {
+		t.Error("go-spawned spin leaked into leakNamed's synchronous callees")
+	}
+
+	lit := cg.Node(corpusFunc(t, cg, "cmd/leakdemo", "leakLit"))
+	if len(lit.GoSpawns) != 1 || lit.GoSpawns[0].Lit == nil || lit.GoSpawns[0].Callee != nil {
+		t.Errorf("leakLit GoSpawns = %+v, want one literal site", lit.GoSpawns)
+	}
+
+	trans := cg.Node(corpusFunc(t, cg, "cmd/leakdemo", "spawnTransitive"))
+	waitDone := corpusFunc(t, cg, "cmd/leakdemo", "waitDone")
+	if hasFunc(trans.Callees, waitDone) {
+		t.Error("a call inside a go-spawned literal produced a synchronous edge")
+	}
+}
+
+// TestCallGraphDeterministicOrder verifies Funcs() follows the documented
+// total order: package path, then file name, then declaration offset.
+func TestCallGraphDeterministicOrder(t *testing.T) {
+	cg := loadCorpus(t).CallGraph()
+	funcs := cg.Funcs()
+	if len(funcs) == 0 {
+		t.Fatal("empty call graph")
+	}
+	for i := 1; i < len(funcs); i++ {
+		if !cg.less(funcs[i-1], funcs[i]) {
+			t.Errorf("Funcs()[%d] %s does not precede Funcs()[%d] %s",
+				i-1, funcs[i-1].FullName(), i, funcs[i].FullName())
+		}
+	}
+}
+
+// TestReachableFrom pins the forward closure, including through go-spawned
+// named functions.
+func TestReachableFrom(t *testing.T) {
+	cg := loadCorpus(t).CallGraph()
+	sleeper := corpusFunc(t, cg, "internal/locks", "SleepViaHelper")
+	slowWrite := corpusFunc(t, cg, "internal/locks", "slowWrite")
+	sender := corpusFunc(t, cg, "internal/locks", "SendUnderLock")
+
+	reached := cg.ReachableFrom([]*types.Func{sleeper})
+	if !reached[sleeper] || !reached[slowWrite] {
+		t.Errorf("SleepViaHelper closure misses itself or slowWrite: %v", reached)
+	}
+	if reached[sender] {
+		t.Error("SendUnderLock is not reachable from SleepViaHelper but was reported so")
+	}
+
+	leakNamed := corpusFunc(t, cg, "cmd/leakdemo", "leakNamed")
+	spin := corpusFunc(t, cg, "cmd/leakdemo", "spin")
+	if !cg.ReachableFrom([]*types.Func{leakNamed})[spin] {
+		t.Error("go-spawned spin not reachable from leakNamed")
+	}
+}

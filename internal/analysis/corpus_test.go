@@ -195,7 +195,8 @@ func TestParseAllow(t *testing.T) {
 // TestAnalyzerSuite pins the suite's membership and stable order: rule names
 // appear in findings and suppressions, so renames are breaking changes.
 func TestAnalyzerSuite(t *testing.T) {
-	want := []string{"determinism", "ctxflow", "hooksafe", "goroutine", "bitsetalias"}
+	want := []string{"determinism", "ctxflow", "hooksafe", "goroutine", "bitsetalias",
+		"lockcheck", "leakcheck", "statusmap"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,135 @@
+package analysis
+
+import "go/types"
+
+// This file is the interprocedural dataflow spine of the analyzer suite: a
+// small worklist solver over the module call graph. Analyses are
+// function-summary based — each function gets one summary value of a
+// comparable type T, recomputed from its neighbors' summaries until the
+// whole map reaches a fixpoint — which keeps whole-module analysis linear in
+// practice (edges × lattice height) instead of exploding per call site.
+//
+// Two directions cover the suite's needs:
+//
+//   - Backward: a function's summary is derived from its callees' summaries
+//     (classic bottom-up summaries: "does this function transitively block?",
+//     "does it transitively emit output?");
+//   - Forward: a function's summary is derived from its callers' summaries
+//     (top-down facts: "is this function reachable from the serving path?").
+//
+// Transfer functions must be monotone (never retract a fact once derived)
+// for the worklist to terminate; with T = bool and || as the join this holds
+// by construction.
+
+// Direction selects which neighbor set feeds a function's transfer function
+// and, symmetrically, which dependents are re-queued when a summary changes.
+type Direction int
+
+const (
+	// Backward derives a function's summary from its callees.
+	Backward Direction = iota
+	// Forward derives a function's summary from its callers.
+	Forward
+)
+
+// Problem is one summary analysis over the call graph.
+type Problem[T comparable] struct {
+	Graph *CallGraph
+	Dir   Direction
+	// Transfer recomputes n's summary. get reads the current summary of any
+	// module function (its callees under Backward, callers under Forward —
+	// reading others is allowed but adds no dependency edge, so a change
+	// there won't re-trigger n). Unknown functions yield T's zero value.
+	Transfer func(n *CGNode, get func(*types.Func) T) T
+}
+
+// Solve runs the worklist to fixpoint and returns every module function's
+// summary. Iteration order is deterministic: functions are seeded in graph
+// order and the queue is FIFO, so equal inputs produce identical maps.
+func Solve[T comparable](p Problem[T]) map[*types.Func]T {
+	out := make(map[*types.Func]T, len(p.Graph.funcs))
+	get := func(fn *types.Func) T {
+		if fn == nil {
+			var zero T
+			return zero
+		}
+		return out[fn.Origin()]
+	}
+
+	queued := map[*types.Func]bool{}
+	queue := make([]*types.Func, 0, len(p.Graph.funcs))
+	push := func(fn *types.Func) {
+		if !queued[fn] {
+			queued[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for _, fn := range p.Graph.funcs {
+		push(fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		queued[fn] = false
+		node := p.Graph.nodes[fn]
+		next := p.Transfer(node, get)
+		if next == out[fn] {
+			continue
+		}
+		out[fn] = next
+		// The summary changed: everyone who depends on it must recompute.
+		var dependents []*types.Func
+		if p.Dir == Backward {
+			dependents = node.Callers
+		} else {
+			dependents = node.Callees
+		}
+		for _, d := range dependents {
+			push(d)
+		}
+	}
+	return out
+}
+
+// PropagateCallees is the common backward boolean analysis: a function's
+// summary is true when local(n) holds or any module callee's summary is
+// true. It powers the blocking and output-emission summaries.
+func (cg *CallGraph) PropagateCallees(local func(n *CGNode) bool) map[*types.Func]bool {
+	// Local contributions never change across iterations; compute them once.
+	locals := make(map[*types.Func]bool, len(cg.funcs))
+	for _, fn := range cg.funcs {
+		if local(cg.nodes[fn]) {
+			locals[fn] = true
+		}
+	}
+	return Solve(Problem[bool]{
+		Graph: cg,
+		Dir:   Backward,
+		Transfer: func(n *CGNode, get func(*types.Func) bool) bool {
+			if locals[n.Fn] {
+				return true
+			}
+			for _, callee := range n.Callees {
+				if get(callee) {
+					return true
+				}
+			}
+			return false
+		},
+	})
+}
+
+// fact memoizes a program-wide derived artifact (a summary map, a sentinel
+// table) under a string key so multiple analyzers — each invoked once per
+// package — share one computation. Run is sequential; no locking.
+func (p *Program) fact(key string, build func() any) any {
+	if p.facts == nil {
+		p.facts = map[string]any{}
+	}
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	v := build()
+	p.facts[key] = v
+	return v
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestBlockingSummary pins the backward blocking analysis over the corpus:
+// a direct time.Sleep marks the function, the mark propagates to callers,
+// and pure computation stays unmarked.
+func TestBlockingSummary(t *testing.T) {
+	prog := loadCorpus(t)
+	cg := prog.CallGraph()
+	blocks := blockingFuncs(prog)
+
+	for name, want := range map[string]bool{
+		"slowWrite":      true, // calls time.Sleep directly
+		"SleepViaHelper": true, // transitively, through slowWrite
+		"EarlyReturn":    true, // acquires a mutex (itself a blocking op)
+	} {
+		fn := corpusFunc(t, cg, "internal/locks", name)
+		if blocks[fn] != want {
+			t.Errorf("blocking[%s] = %v, want %v", name, blocks[fn], want)
+		}
+	}
+	if fn := corpusFunc(t, cg, "cmd/leakdemo", "spin"); blocks[fn] {
+		t.Error("pure spin marked blocking")
+	}
+}
+
+// TestSignalableSummary pins the leakcheck summary: channel consumers and
+// context takers are signalable; pure functions are not; and a signal inside
+// a go-spawned literal does not make the spawner signalable.
+func TestSignalableSummary(t *testing.T) {
+	prog := loadCorpus(t)
+	cg := prog.CallGraph()
+	signalable := signalableFuncs(prog)
+
+	for name, want := range map[string]bool{
+		"pump":            true,  // ranges over a channel
+		"waitDone":        true,  // channel receive
+		"serve":           true,  // context.Context parameter
+		"spin":            false, // pure computation
+		"work":            false,
+		"spawnTransitive": false, // its receive lives in a spawned literal
+	} {
+		fn := corpusFunc(t, cg, "cmd/leakdemo", name)
+		if signalable[fn] != want {
+			t.Errorf("signalable[%s] = %v, want %v", name, signalable[fn], want)
+		}
+	}
+}
+
+// TestSolveForward exercises the forward direction: a fact seeded at a root
+// flows to its callees (and no further).
+func TestSolveForward(t *testing.T) {
+	prog := loadCorpus(t)
+	cg := prog.CallGraph()
+	root := corpusFunc(t, cg, "internal/locks", "SleepViaHelper")
+	out := Solve(Problem[bool]{
+		Graph: cg,
+		Dir:   Forward,
+		Transfer: func(n *CGNode, get func(fn *types.Func) bool) bool {
+			if n.Fn == root {
+				return true
+			}
+			for _, caller := range n.Callers {
+				if get(caller) {
+					return true
+				}
+			}
+			return false
+		},
+	})
+	if !out[corpusFunc(t, cg, "internal/locks", "slowWrite")] {
+		t.Error("forward fact did not reach slowWrite from SleepViaHelper")
+	}
+	if out[corpusFunc(t, cg, "internal/locks", "SendUnderLock")] {
+		t.Error("forward fact leaked to the unrelated SendUnderLock")
+	}
+}
+
+// TestStrictAllows pins the stale-suppression sweep: the deliberately stale
+// allow in the locks fixture is reported as a warning under the full suite,
+// and is left alone when its rule is not in the executed set.
+func TestStrictAllows(t *testing.T) {
+	prog := loadCorpus(t)
+
+	var stale []Finding
+	for _, f := range RunWith(prog, Analyzers(), Options{StrictAllows: true}) {
+		if f.Rule == StaleAllowRule {
+			stale = append(stale, f)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale-allow findings, want exactly 1: %v", len(stale), stale)
+	}
+	f := stale[0]
+	if !strings.HasSuffix(f.Pos.Filename, "internal/locks/locks.go") {
+		t.Errorf("stale-allow reported in %s, want the locks fixture", f.Pos.Filename)
+	}
+	if f.Severity != SeverityWarning {
+		t.Errorf("stale-allow severity = %q, want %q", f.Severity, SeverityWarning)
+	}
+
+	// Running only determinism must not judge the lockcheck allow.
+	for _, f := range RunWith(prog, []*Analyzer{DeterminismAnalyzer}, Options{StrictAllows: true}) {
+		if f.Rule == StaleAllowRule {
+			t.Errorf("rule-subset run condemned a foreign suppression: %s", f)
+		}
+	}
+
+	// Without the option the stale comment is silent.
+	for _, f := range Run(prog, Analyzers()) {
+		if f.Rule == StaleAllowRule {
+			t.Errorf("stale-allow reported without StrictAllows: %s", f)
+		}
+	}
+}

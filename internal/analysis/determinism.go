@@ -83,15 +83,49 @@ func runDeterminism(pass *Pass) {
 		return
 	}
 	info := pass.Pkg.Info
+	emits := emitsOutputFuncs(pass.Prog)
 	inspectWithStack(pass.Pkg.Files, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkNondeterministicCall(pass, n)
 		case *ast.RangeStmt:
-			checkMapRange(pass, info, n, stack)
+			checkMapRange(pass, info, emits, n, stack)
 		}
 		return true
 	})
+}
+
+// emitsOutputFuncs returns the module-wide transitive output summary: fn →
+// true when fn (or any module function it calls synchronously) writes to an
+// output sink. It upgrades the map-range rule from "the loop body prints"
+// to "the loop body reaches a print through any call chain" — the
+// interprocedural taint from map iteration order into emitted output.
+func emitsOutputFuncs(prog *Program) map[*types.Func]bool {
+	return prog.fact("determinism.emitsOutput", func() any {
+		cg := prog.CallGraph()
+		return cg.PropagateCallees(func(n *CGNode) bool {
+			if n.Decl.Body == nil {
+				return false
+			}
+			spawned := spawnedLits(n.Decl.Body)
+			found := false
+			ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+				if found {
+					return false
+				}
+				if lit, ok := x.(*ast.FuncLit); ok && spawned[lit] {
+					return false
+				}
+				if call, ok := x.(*ast.CallExpr); ok {
+					if fn := calleeFunc(n.Pkg.Info, call); fn != nil && isOutputFunc(fn) {
+						found = true
+					}
+				}
+				return !found
+			})
+			return found
+		})
+	}).(map[*types.Func]bool)
 }
 
 // bannedFuncs maps package path → banned function names; an empty set bans
@@ -117,9 +151,11 @@ func checkNondeterministicCall(pass *Pass, call *ast.CallExpr) {
 }
 
 // checkMapRange flags map-iteration loops whose body accumulates into a
-// slice or writes output, unless a sort call follows the loop in the same
-// function (the standard collect-then-sort idiom).
-func checkMapRange(pass *Pass, info *types.Info, rng *ast.RangeStmt, stack []ast.Node) {
+// slice or writes output — directly or through a module callee that
+// transitively emits output (per emitsOutputFuncs) — unless a sort call
+// follows the loop in the same function (the standard collect-then-sort
+// idiom).
+func checkMapRange(pass *Pass, info *types.Info, emits map[*types.Func]bool, rng *ast.RangeStmt, stack []ast.Node) {
 	tv, ok := info.Types[rng.X]
 	if !ok {
 		return
@@ -139,9 +175,15 @@ func checkMapRange(pass *Pass, info *types.Info, rng *ast.RangeStmt, stack []ast
 				return false
 			}
 		}
-		if fn := calleeFunc(info, call); fn != nil && isOutputFunc(fn) {
-			hazard = "emits output"
-			return false
+		if fn := calleeFunc(info, call); fn != nil {
+			if isOutputFunc(fn) {
+				hazard = "emits output"
+				return false
+			}
+			if emits[fn.Origin()] {
+				hazard = "calls " + fn.Name() + ", which emits output transitively,"
+				return false
+			}
 		}
 		return true
 	})

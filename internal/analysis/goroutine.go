@@ -107,13 +107,23 @@ func checkJoin(pass *Pass, info *types.Info, goStmt *ast.GoStmt, stack []ast.Nod
 	if body == nil {
 		return
 	}
+	if !hasJoinConstruct(info, body, goStmt.Call.Fun) {
+		pass.Reportf(goStmt.Pos(), "go statement with no WaitGroup.Wait, channel receive, or select join in the same function; the goroutine may outlive its spawner")
+	}
+}
+
+// hasJoinConstruct reports whether body contains a join construct — a
+// WaitGroup.Wait, a channel receive, a range over a channel, or a select —
+// outside the excluded subtree (the spawned goroutine's own function, where
+// a join wouldn't stop it). Shared by the goroutine and leakcheck rules.
+func hasJoinConstruct(info *types.Info, body *ast.BlockStmt, exclude ast.Node) bool {
 	joined := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if joined {
 			return false
 		}
-		if n == goStmt.Call.Fun {
-			return false // a join inside the spawned goroutine doesn't count
+		if n == exclude {
+			return false
 		}
 		switch n := n.(type) {
 		case *ast.UnaryExpr:
@@ -137,7 +147,5 @@ func checkJoin(pass *Pass, info *types.Info, goStmt *ast.GoStmt, stack []ast.Nod
 		}
 		return !joined
 	})
-	if !joined {
-		pass.Reportf(goStmt.Pos(), "go statement with no WaitGroup.Wait, channel receive, or select join in the same function; the goroutine may outlive its spawner")
-	}
+	return joined
 }

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheckAnalyzer verifies that every goroutine spawned on the serving
+// path has a termination edge — some mechanism by which shutdown reaches it:
+//
+//   - the spawned function (directly or through any module callee) selects
+//     on or receives from a channel, ranges over one, or consults a
+//     context.Context — i.e. it is "signalable"; or
+//   - the go call forwards a context.Context argument; or
+//   - the spawning function joins the goroutine (WaitGroup.Wait, channel
+//     receive, range, or select in the spawner's body).
+//
+// Unlike the goroutine rule (same-function join, internal/ only), this rule
+// is interprocedural — the signalable property is a backward summary over
+// the call graph — and covers cmd/ binaries too, where a leaked goroutine
+// keeps the process alive past shutdown.
+var LeakCheckAnalyzer = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "every go statement on the serving path needs a termination edge: a signalable body (through any call chain), a forwarded context, or a spawner-side join",
+	Run:  runLeakCheck,
+}
+
+// leakScopes are the module-relative package prefixes under the rule: the
+// serving path and the long-running binaries.
+var leakScopes = []string{"internal/server", "internal/harness", "cmd"}
+
+func runLeakCheck(pass *Pass) {
+	rel, ok := relModulePath(pass.Prog, pass.Pkg.Path)
+	if !ok || testHelperPkgs[rel] {
+		return
+	}
+	inScope := false
+	for _, scope := range leakScopes {
+		if hasPathPrefix(rel, scope) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.Pkg.Info
+	signalable := signalableFuncs(pass.Prog)
+	inspectWithStack(pass.Pkg.Files, func(n ast.Node, stack []ast.Node) bool {
+		goStmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if passesContext(info, goStmt.Call) {
+			return true
+		}
+		if spawnedSignalable(info, signalable, goStmt) {
+			return true
+		}
+		if body := enclosingFuncBody(stack); body != nil &&
+			hasJoinConstruct(info, body, goStmt.Call.Fun) {
+			return true
+		}
+		pass.Reportf(goStmt.Pos(), "go statement has no termination edge: the goroutine is not signalable (no channel receive, select, or context use through any call chain), receives no context argument, and is not joined by its spawner; it can leak past shutdown")
+		return true
+	})
+}
+
+// signalableFuncs returns the module-wide transitive signalable summary:
+// fn → true when fn takes a context.Context, or its body (or any module
+// callee's, synchronously) contains a channel receive, select, range over a
+// channel, or a context.Context reference.
+func signalableFuncs(prog *Program) map[*types.Func]bool {
+	return prog.fact("leakcheck.signalable", func() any {
+		cg := prog.CallGraph()
+		return cg.PropagateCallees(func(n *CGNode) bool {
+			if sig, ok := n.Fn.Type().(*types.Signature); ok && hasContextParam(sig) {
+				return true
+			}
+			if n.Decl.Body == nil {
+				return false
+			}
+			return localSignalable(n.Pkg.Info, n.Decl.Body)
+		})
+	}).(map[*types.Func]bool)
+}
+
+// localSignalable reports whether body itself contains a termination-edge
+// construct, excluding nested go-spawned literals (a signal handled by a
+// grandchild goroutine does not stop this one).
+func localSignalable(info *types.Info, body ast.Node) bool {
+	spawned := spawnedLits(body)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if spawned[n] {
+				return false
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// spawnedSignalable reports whether the goroutine spawned by goStmt is
+// signalable: for a literal, its body is locally signalable or calls a
+// signalable module function; for a named call, the callee's summary decides.
+func spawnedSignalable(info *types.Info, signalable map[*types.Func]bool, goStmt *ast.GoStmt) bool {
+	if lit, ok := goStmt.Call.Fun.(*ast.FuncLit); ok {
+		if localSignalable(info, lit.Body) {
+			return true
+		}
+		spawned := spawnedLits(lit.Body)
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if l, ok := n.(*ast.FuncLit); ok && l != lit && spawned[l] {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, call); fn != nil && signalable[fn.Origin()] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	if fn := calleeFunc(info, goStmt.Call); fn != nil {
+		return signalable[fn.Origin()]
+	}
+	return false
+}
+
+// passesContext reports whether any argument of the call is a
+// context.Context — a forwarded cancellation signal.
+func passesContext(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

@@ -37,7 +37,7 @@ func LoadModule(dir string, tags ...string) (*Program, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	prog := &Program{Fset: fset, ModulePath: modPath, byPath: map[string]*Package{}}
+	prog := &Program{Fset: fset, ModulePath: modPath, Root: root, byPath: map[string]*Package{}}
 	for _, d := range dirs {
 		pkg, err := parseDir(fset, root, modPath, d, tags)
 		if err != nil {

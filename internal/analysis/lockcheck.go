@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheckAnalyzer enforces the serving path's lock discipline, module-wide:
+//
+//  1. A sync.Mutex/RWMutex held at a program point must not reach a blocking
+//     operation — a channel send/receive outside a select with default, a
+//     select without default, Cond.Wait / WaitGroup.Wait, acquiring another
+//     lock, time.Sleep, or network/file I/O — directly or through any call
+//     chain (the interprocedural part: module callees carry a transitive
+//     "blocks" summary computed by the dataflow solver).
+//  2. Every Lock/RLock must be released in the same function: either a
+//     matching defer Unlock/RUnlock, or a plain release on the path — and
+//     with a plain release, no return statement may sit between the acquire
+//     and the release.
+//
+// The analysis is lexical within one function: the held region runs from the
+// acquire to the first matching plain release after it (or to the end of the
+// function under a deferred release). Locks handed across function
+// boundaries (lock helpers) are reported as unreleased and need an audited
+// //hyfdvet:allow if intentional.
+var LockCheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "no blocking operation while holding a mutex (through any call chain); every Lock must be released via defer or on every path",
+	Run:  runLockCheck,
+}
+
+// acquireRelease pairs the sync acquire methods with their releases.
+var acquireRelease = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+// blockingPkgFuncs lists known-blocking package-level stdlib functions; a
+// nil set marks every function (and method) of the package as blocking.
+var blockingPkgFuncs = map[string]map[string]bool{
+	"time": {"Sleep": true},
+	"os": {"Open": true, "OpenFile": true, "Create": true, "ReadFile": true,
+		"WriteFile": true, "ReadDir": true, "Remove": true, "RemoveAll": true,
+		"Mkdir": true, "MkdirAll": true, "Rename": true, "Stat": true, "Lstat": true},
+	"io":       {"Copy": true, "CopyN": true, "ReadAll": true, "ReadFull": true, "WriteString": true},
+	"net":      nil,
+	"net/http": nil,
+}
+
+// blockingMethods lists known-blocking stdlib methods as pkg → receiver →
+// methods. sync acquire methods are here too: taking a second lock while
+// holding one is itself a blocking operation (and a lock-ordering hazard).
+var blockingMethods = map[string]map[string]map[string]bool{
+	"sync": {
+		"Cond":      {"Wait": true},
+		"WaitGroup": {"Wait": true},
+		"Mutex":     {"Lock": true},
+		"RWMutex":   {"Lock": true, "RLock": true},
+	},
+	"os": {
+		"File": {"Read": true, "ReadAt": true, "Write": true, "WriteAt": true, "Sync": true},
+	},
+	"os/exec": {
+		"Cmd": {"Run": true, "Wait": true, "Output": true, "CombinedOutput": true},
+	},
+}
+
+// blockingStdlibCall classifies a call to a non-module function: it returns
+// a human-readable description when the callee is known to block.
+func blockingStdlibCall(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := fn.Pkg().Path()
+	if names, ok := blockingPkgFuncs[pkg]; ok && (names == nil || names[fn.Name()]) {
+		return pkg + "." + fn.Name(), true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if recvs, ok := blockingMethods[pkg]; ok {
+		if named, _ := namedType(sig.Recv().Type()); named != nil {
+			if recvs[named.Obj().Name()][fn.Name()] {
+				return named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+	}
+	// Interface methods of the net package (Conn.Read, Listener.Accept, ...)
+	// block by contract.
+	if pkg == "net" {
+		return "net." + fn.Name(), true
+	}
+	return "", false
+}
+
+// blockingFuncs returns the module-wide transitive blocking summary: fn →
+// true when fn (or any module function it calls synchronously) performs a
+// blocking operation. Bodies of go-spawned literals are excluded — they
+// block their own goroutine, not the caller.
+func blockingFuncs(prog *Program) map[*types.Func]bool {
+	return prog.fact("lockcheck.blocking", func() any {
+		cg := prog.CallGraph()
+		return cg.PropagateCallees(func(n *CGNode) bool {
+			if n.Decl.Body == nil {
+				return false
+			}
+			found := false
+			scanBlockingOps(n.Pkg.Info, n.Decl.Body, nil, func(pos token.Pos, what string) {
+				found = true
+			})
+			return found
+		})
+	}).(map[*types.Func]bool)
+}
+
+// scanBlockingOps walks body reporting every potentially blocking operation.
+// Nested function literals are skipped when spawned by a `go` statement
+// (asynchronous) and descended into otherwise (deferred and
+// immediately-invoked literals run on this goroutine; callback literals are
+// treated conservatively). moduleBlocks, when non-nil, extends the
+// classification to module callees via their transitive summary.
+func scanBlockingOps(info *types.Info, body ast.Node, moduleBlocks map[*types.Func]bool, report func(pos token.Pos, what string)) {
+	spawned := spawnedLits(body)
+	exempt := []ast.Node{} // comm clauses of selects, never reported directly
+	inExempt := func(n ast.Node) bool {
+		for _, e := range exempt {
+			if nodeWithin(n, e) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if spawned[n] {
+				return false
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if c, ok := clause.(*ast.CommClause); ok {
+					if c.Comm == nil {
+						hasDefault = true
+					} else {
+						exempt = append(exempt, c.Comm)
+					}
+				}
+			}
+			if !hasDefault {
+				report(n.Pos(), "select without a default case")
+			}
+		case *ast.SendStmt:
+			if !inExempt(n) {
+				report(n.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inExempt(n) {
+				report(n.Pos(), "channel receive")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(n.Pos(), "range over a channel")
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			if what, ok := blockingStdlibCall(fn); ok {
+				report(n.Pos(), "call to "+what)
+				return true
+			}
+			if moduleBlocks != nil && moduleBlocks[fn.Origin()] {
+				report(n.Pos(), "call to "+fn.Name()+", which blocks transitively")
+			}
+		}
+		return true
+	})
+}
+
+// syncAcquire decomposes a call into (receiver path, acquire method) when it
+// is Lock/RLock on a sync.Mutex or sync.RWMutex (possibly embedded).
+func syncAcquire(info *types.Info, call *ast.CallExpr) (path, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || acquireRelease[sel.Sel.Name] == "" {
+		return "", "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	path = exprPath(sel.X)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// lockRelease matches a call against the release method for path/method.
+func lockRelease(info *types.Info, call *ast.CallExpr, path, release string) bool {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != release {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	return exprPath(sel.X) == path
+}
+
+func runLockCheck(pass *Pass) {
+	rel, ok := relModulePath(pass.Prog, pass.Pkg.Path)
+	if !ok || testHelperPkgs[rel] {
+		return
+	}
+	info := pass.Pkg.Info
+	blocks := blockingFuncs(pass.Prog)
+	inspectWithStack(pass.Pkg.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		path, method, isAcquire := syncAcquire(info, call)
+		if !isAcquire {
+			return true
+		}
+		unit := enclosingFuncNode(stack)
+		if unit == nil {
+			return true
+		}
+		checkLockedRegion(pass, info, blocks, unit, call, path, method)
+		return true
+	})
+}
+
+// enclosingFuncNode returns the innermost function declaration or literal on
+// the stack — the analysis unit a lock region is confined to.
+func enclosingFuncNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// funcNodeBody extracts the body of a FuncDecl or FuncLit unit.
+func funcNodeBody(unit ast.Node) *ast.BlockStmt {
+	switch u := unit.(type) {
+	case *ast.FuncDecl:
+		return u.Body
+	case *ast.FuncLit:
+		return u.Body
+	}
+	return nil
+}
+
+// checkLockedRegion verifies one acquire site: a release must exist in the
+// unit, plain releases must not be bypassed by a return, and the held region
+// must not reach a blocking operation.
+func checkLockedRegion(pass *Pass, info *types.Info, blocks map[*types.Func]bool,
+	unit ast.Node, acquire *ast.CallExpr, path, method string) {
+	body := funcNodeBody(unit)
+	if body == nil {
+		return
+	}
+	release := acquireRelease[method]
+
+	// Collect the matching releases of this unit (excluding nested function
+	// literals, except literals hanging off a defer — `defer func() {
+	// mu.Unlock() }()` releases this unit's lock).
+	var deferRelease bool
+	var firstPlain token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != unit {
+			if !withinDefer(body, lit) {
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !lockRelease(info, call, path, release) || call.Pos() <= acquire.Pos() {
+			return true
+		}
+		if withinDefer(body, call) {
+			deferRelease = true
+		} else if firstPlain == token.NoPos || call.Pos() < firstPlain {
+			firstPlain = call.Pos()
+		}
+		return true
+	})
+
+	if !deferRelease && firstPlain == token.NoPos {
+		pass.Reportf(acquire.Pos(), "%s.%s() is never released in this function; add defer %s.%s() (lock helpers need an audited allow)",
+			path, method, path, release)
+		return
+	}
+
+	// The held region: acquire → first plain release, or the whole rest of
+	// the unit under a deferred release.
+	regionEnd := body.End()
+	if firstPlain != token.NoPos {
+		regionEnd = firstPlain
+	}
+	inRegion := func(pos token.Pos) bool { return pos > acquire.End() && pos < regionEnd }
+
+	if !deferRelease {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit != unit {
+				return false
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok && inRegion(ret.Pos()) {
+				pass.Reportf(ret.Pos(), "return while %s is locked (released at a plain %s.%s() after this point); release before returning or use defer",
+					path, path, release)
+			}
+			return true
+		})
+	}
+
+	scanBlockingOps(info, body, blocks, func(pos token.Pos, what string) {
+		if !inRegion(pos) {
+			return
+		}
+		pass.Reportf(pos, "%s while holding %s (locked via %s.%s()); blocking operations must not run under a mutex",
+			what, path, path, method)
+	})
+}
+
+// withinDefer reports whether node sits inside a defer statement of the
+// given body.
+func withinDefer(body *ast.BlockStmt, node ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && nodeWithin(node, d) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

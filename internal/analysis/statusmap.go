@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// StatusMapAnalyzer keeps the server's error→HTTP mapping exhaustive: every
+// exported error sentinel (an exported package-level `Err*` variable of
+// error type, anywhere in the module) that is referenced by code reachable
+// from the serving path must have an errors.Is case in StatusFor. A sentinel
+// that escapes the mapping silently degrades to 500 on the wire — this rule
+// turns that into a vet failure at the moment the sentinel first leaks onto
+// the path.
+//
+// Reachability is computed over the module call graph from every function
+// declared in the server package (handlers, the worker loop, and everything
+// they call, including go-spawned named functions).
+var StatusMapAnalyzer = &Analyzer{
+	Name: "statusmap",
+	Doc:  "every exported error sentinel reachable from the serving path must have a case in StatusFor",
+	Run:  runStatusMap,
+}
+
+// statusMapScope is the module-relative package holding StatusFor.
+const statusMapScope = "internal/server"
+
+func runStatusMap(pass *Pass) {
+	rel, ok := relModulePath(pass.Prog, pass.Pkg.Path)
+	if !ok || rel != statusMapScope {
+		return
+	}
+	statusFor := findStatusFor(pass.Pkg)
+	if statusFor == nil {
+		return // no mapping function: nothing to keep in sync
+	}
+	mapped := mappedSentinels(pass.Pkg.Info, statusFor)
+
+	cg := pass.Prog.CallGraph()
+	var roots []*types.Func
+	for _, fn := range cg.Funcs() {
+		if cg.Node(fn).Pkg == pass.Pkg {
+			roots = append(roots, fn)
+		}
+	}
+	reached := cg.ReachableFrom(roots)
+
+	// Collect the module sentinels referenced by reachable bodies.
+	required := map[*types.Var]bool{}
+	for _, fn := range cg.Funcs() {
+		if !reached[fn] {
+			continue
+		}
+		node := cg.Node(fn)
+		if node.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v := sentinelVar(pass.Prog, node.Pkg.Info.Uses[id]); v != nil {
+				required[v] = true
+			}
+			return true
+		})
+	}
+
+	var missing []*types.Var
+	for v := range required {
+		if !mapped[v] {
+			missing = append(missing, v)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		a, b := missing[i], missing[j]
+		if a.Pkg().Path() != b.Pkg().Path() {
+			return a.Pkg().Path() < b.Pkg().Path()
+		}
+		return a.Name() < b.Name()
+	})
+	for _, v := range missing {
+		decl := pass.Prog.Fset.Position(v.Pos())
+		pass.Reportf(statusFor.Pos(), "sentinel %s.%s (declared at %s:%d) is reachable from the serving path but has no errors.Is case in StatusFor; unmapped errors degrade to 500",
+			v.Pkg().Name(), v.Name(), decl.Filename, decl.Line)
+	}
+}
+
+// findStatusFor locates the package's StatusFor function declaration.
+func findStatusFor(pkg *Package) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "StatusFor" {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// mappedSentinels collects the sentinel variables StatusFor handles, via
+// errors.Is(err, X) calls or direct == comparisons.
+func mappedSentinels(info *types.Info, statusFor *ast.FuncDecl) map[*types.Var]bool {
+	mapped := map[*types.Var]bool{}
+	note := func(e ast.Expr) {
+		var obj types.Object
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj = info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = info.Uses[e.Sel]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			mapped[v] = true
+		}
+	}
+	ast.Inspect(statusFor.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPkgCall(info, n, "errors", "Is") && len(n.Args) == 2 {
+				note(n.Args[1])
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "==" {
+				note(n.X)
+				note(n.Y)
+			}
+		}
+		return true
+	})
+	return mapped
+}
+
+// sentinelVar filters an object down to a module-declared exported
+// package-level Err* variable of error type, or nil.
+func sentinelVar(prog *Program, obj types.Object) *types.Var {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.Exported() || v.Pkg() == nil {
+		return nil
+	}
+	if _, inModule := relModulePath(prog, v.Pkg().Path()); !inModule {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	name := v.Name()
+	if len(name) < 4 || name[:3] != "Err" {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorInterface()) {
+		return nil
+	}
+	return v
+}
+
+// errorInterface returns the built-in error interface type.
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

@@ -1,0 +1,89 @@
+// Command leakdemo seeds the leakcheck rule: every goroutine spawned in
+// cmd/ (and on the serving path) needs a termination edge — a signalable
+// body, a forwarded context, or a spawner-side join.
+package main
+
+import (
+	"context"
+	"sync"
+)
+
+// spin is pure computation: not signalable.
+func spin(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// work is a plain step used by the literal fixtures.
+func work() {}
+
+// pump ranges over a channel: signalable, a close(ch) stops it.
+func pump(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// serve takes a context: signalable by signature.
+func serve(ctx context.Context) {}
+
+// waitDone receives: signalable, and makes its callers signalable too.
+func waitDone(done chan struct{}) {
+	<-done
+}
+
+// leakNamed spawns a pure function with no join anywhere: leaked.
+func leakNamed() {
+	go spin(10) // want "leakcheck: go statement has no termination edge"
+}
+
+// leakLit spawns a literal that loops forever with no signal: leaked.
+func leakLit() {
+	go func() { // want "leakcheck: go statement has no termination edge"
+		for {
+			work()
+		}
+	}()
+}
+
+// spawnSignalable spawns bodies that can be told to stop: no findings.
+func spawnSignalable(ch chan int) {
+	go pump(ch)
+	go serve(context.Background())
+}
+
+// spawnTransitive reaches the channel receive through a module callee —
+// the interprocedural case.
+func spawnTransitive(done chan struct{}) {
+	go func() {
+		work()
+		waitDone(done)
+	}()
+}
+
+// spawnJoined relies on the spawner-side join instead.
+func spawnJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func main() {
+	ch := make(chan int)
+	done := make(chan struct{})
+	leakNamed()
+	leakLit()
+	spawnSignalable(ch)
+	spawnTransitive(done)
+	spawnJoined()
+	close(done)
+	close(ch)
+	_ = spin(3)
+}

@@ -1,0 +1,34 @@
+// The determinism map-range rule, interprocedural case: the loop body
+// reaches an output sink through a module callee instead of printing
+// directly.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// emit writes one record to stdout — its callers transitively emit output.
+func emit(k string, v int) {
+	fmt.Println(k, v)
+}
+
+// DumpScores iterates a map and emits through a callee: the iteration
+// order taints the output across the call.
+func DumpScores(scores map[string]int) {
+	for k, v := range scores { // want "determinism: range over map calls emit, which emits output transitively"
+		emit(k, v)
+	}
+}
+
+// DumpSorted collects, sorts, then emits: no finding.
+func DumpSorted(scores map[string]int) {
+	var keys []string
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k, scores[k])
+	}
+}

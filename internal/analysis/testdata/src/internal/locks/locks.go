@@ -1,0 +1,88 @@
+// Package locks seeds the lockcheck rule: blocking operations must not run
+// while a sync mutex is held (directly or through any call chain), and every
+// acquire needs a release on all paths.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+// Store is the guarded fixture type.
+type Store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+	ch   chan int
+}
+
+// slowWrite reaches time.Sleep: transitively blocking for its callers.
+func slowWrite() {
+	time.Sleep(time.Millisecond)
+}
+
+// SendUnderLock performs a channel send while the mutex is held.
+func (s *Store) SendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "lockcheck: channel send while holding s.mu"
+}
+
+// SleepViaHelper reaches a blocking call through a module callee — the
+// interprocedural case a single-function scan cannot see.
+func (s *Store) SleepViaHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slowWrite() // want "lockcheck: call to slowWrite, which blocks transitively"
+}
+
+// EarlyReturn returns between a plain Lock and its release, leaking the
+// lock on the hit path.
+func (s *Store) EarlyReturn(k string) int {
+	s.mu.Lock()
+	if v, ok := s.data[k]; ok {
+		return v // want "lockcheck: return while s.mu is locked"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Orphan acquires and never releases.
+func (s *Store) Orphan() {
+	s.mu.Lock() // want "lockcheck: s.mu.Lock() is never released in this function"
+	s.data["x"] = 1
+}
+
+// Guarded is the clean counterpart: deferred release, a non-blocking
+// select (it has a default case), and plain map access.
+func (s *Store) Guarded(k string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select {
+	case v := <-s.ch:
+		return v
+	default:
+	}
+	return s.data[k]
+}
+
+// ClaimThenWork is the claim-then-release idiom: the slow work runs after
+// the plain release, so no finding.
+func (s *Store) ClaimThenWork(k string) {
+	s.mu.Lock()
+	if _, taken := s.data[k]; taken {
+		s.mu.Unlock()
+		return
+	}
+	s.data[k] = 0
+	s.mu.Unlock()
+	slowWrite()
+}
+
+// staleAllowed carries a suppression that absorbs nothing: the
+// -strict-allows sweep (exercised by the analysis and CLI tests) must
+// report it as a stale-allow warning.
+func staleAllowed() int {
+	//hyfdvet:allow lockcheck stale on purpose: this fixture line violates nothing
+	return 1
+}

@@ -1,0 +1,41 @@
+// Package server seeds the statusmap rule: every exported error sentinel
+// reachable from the serving path must have an errors.Is case in StatusFor.
+package server
+
+import (
+	"errors"
+	"net/http"
+)
+
+var (
+	// ErrMapped has a StatusFor case: clean.
+	ErrMapped = errors.New("mapped")
+	// ErrOrphan is returned by the handler but never mapped: it would
+	// degrade to 500 on the wire.
+	ErrOrphan = errors.New("orphan")
+	// errInternal is unexported: not a sentinel, never required.
+	errInternal = errors.New("internal detail")
+)
+
+// Handle is the serving-path root; it references both sentinels.
+func Handle(fail bool) error {
+	if fail {
+		return ErrOrphan
+	}
+	if false {
+		return errInternal
+	}
+	return ErrMapped
+}
+
+// StatusFor maps errors onto HTTP statuses.
+func StatusFor(err error) int { // want "statusmap: sentinel server.ErrOrphan"
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrMapped):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

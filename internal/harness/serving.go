@@ -300,7 +300,6 @@ func replayTrace(ctx context.Context, baseURL string, spec ServingTraceSpec, eve
 	var maxDepth int
 	var samplerWG sync.WaitGroup
 	samplerWG.Add(1)
-	//hyfdvet:allow goroutine — sampler is joined via samplerWG.Wait below
 	go func() {
 		defer samplerWG.Done()
 		ticker := time.NewTicker(cfg.sampleInterval)
@@ -320,7 +319,6 @@ func replayTrace(ctx context.Context, baseURL string, spec ServingTraceSpec, eve
 	var wg sync.WaitGroup
 	for i, ev := range events {
 		wg.Add(1)
-		//hyfdvet:allow goroutine — one replay goroutine per trace event, joined via wg.Wait below
 		go func(i int, ev TraceEvent) {
 			defer wg.Done()
 			due := start.Add(time.Duration(ev.OffsetMs * float64(time.Millisecond)))

@@ -276,6 +276,10 @@ func (s *jobStore) add(j *job) {
 	defer s.mu.Unlock()
 	s.next++
 	j.seq = s.next
+	// The nesting order store.mu > job.mu is the fixed lock hierarchy: no
+	// job-mutex holder ever takes the store mutex, and the inner region is
+	// two assignments — it cannot block.
+	//hyfdvet:allow lockcheck audited nesting: store.mu > job.mu is the only order used module-wide; inner critical section is non-blocking
 	j.mu.Lock()
 	j.id = "j-" + strconv.Itoa(s.next)
 	j.mu.Unlock()
