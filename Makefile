@@ -4,7 +4,7 @@ GO ?= go
 # seconds; override BENCH_JSON_FLAGS for a full-scale artifact run.
 BENCH_JSON_FLAGS ?= -exp table1,ranked -inprocess -timeout 5s -table1-rows 100
 
-.PHONY: all build vet lint lint-json test test-invariants race check bench bench-json fuzz-smoke fuzz-smoke-ranked serve-smoke
+.PHONY: all build vet lint lint-json test test-invariants race check bench bench-json fuzz-smoke fuzz-smoke-ranked fuzz-smoke-incremental serve-smoke
 
 # Wall-clock budget of the bounded differential-fuzz smoke run.
 FUZZTIME ?= 30s
@@ -67,9 +67,18 @@ fuzz-smoke:
 fuzz-smoke-ranked:
 	$(GO) test -fuzz=FuzzTopKDifferential -fuzztime=$(FUZZTIME) -run '^$$' .
 
+# fuzz-smoke-incremental runs the incremental maintenance differential
+# fuzzer: a fuzzed update batch applied through ModeIncremental must yield
+# a cover byte-identical to a cold re-run over the delta'd content, under
+# both null semantics and two thread counts.
+fuzz-smoke-incremental:
+	$(GO) test -fuzz=FuzzIncrementalDifferential -fuzztime=$(FUZZTIME) -run '^$$' .
+
 # serve-smoke is the end-to-end daemon exercise: build hyfdd, start it,
-# register a CSV, run one job per mode (fd/afd/ucc), compare the warm FD
-# result byte-for-byte against a cold cmd/hyfd run, scrape /metrics, and
-# assert a clean SIGTERM shutdown.
+# register a CSV, run one job per mode (fd/afd/ucc/ranked), POST a delta
+# and verify the next job pins the new snapshot version with a result
+# matching a cold run over the delta'd content, compare warm FD results
+# byte-for-byte against cold cmd/hyfd runs, scrape /metrics, and assert a
+# clean SIGTERM shutdown.
 serve-smoke:
 	$(GO) test ./cmd/hyfdd -run 'TestServeSmoke|TestUsageErrors' -count=1 -v

@@ -33,7 +33,7 @@ import (
 func main() {
 	var (
 		worker     = flag.Bool("worker", false, "internal: run one job read from argv and emit JSON")
-		exp        = flag.String("exp", "all", "experiments to run: all or comma list of fig6,fig7,table1,table2,table3,fig8,prep,dataset_reuse,ranked,serving (serving is not part of all)")
+		exp        = flag.String("exp", "all", "experiments to run: all or comma list of fig6,fig7,table1,table2,table3,fig8,prep,dataset_reuse,ranked,incremental,serving (serving is not part of all)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-run time limit (TL)")
 		memLimitMB = flag.Int("memlimit-mb", 8192, "per-run memory limit in MB (ML)")
 		inprocess  = flag.Bool("inprocess", false, "run jobs in-process (TL enforced via context deadlines, no ML enforcement; useful without exec permissions)")
@@ -76,7 +76,7 @@ func main() {
 
 	var ids []string
 	if *exp == "all" {
-		ids = []string{"fig6", "fig7", "table1", "table2", "table3", "fig8", "prep", "dataset_reuse", "ranked"}
+		ids = []string{"fig6", "fig7", "table1", "table2", "table3", "fig8", "prep", "dataset_reuse", "ranked", "incremental"}
 	} else {
 		ids = strings.Split(*exp, ",")
 	}

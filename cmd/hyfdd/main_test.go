@@ -55,9 +55,10 @@ func getBody(t *testing.T, url string) (int, []byte) {
 
 // jobView mirrors the wire job document (only the fields the smoke asserts).
 type jobView struct {
-	ID     string `json:"id"`
-	Status string `json:"status"`
-	Error  string `json:"error"`
+	ID             string `json:"id"`
+	Status         string `json:"status"`
+	Error          string `json:"error"`
+	DatasetVersion int    `json:"dataset_version"`
 	Result *struct {
 		FDs    []string `json:"fds"`
 		AFDs   []string `json:"afds"`
@@ -220,6 +221,53 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("warm serving FDs diverge from cold CLI run\nwarm:\n%s\ncold:\n%s", warm, cold)
 	}
 
+	// Streaming ingest: a delta advances the dataset to a new snapshot
+	// version, the next job pins that version, and its warm result is
+	// byte-identical to a cold CLI run over the delta'd content. The
+	// inserted row breaks City→State, so the v2 result provably reflects
+	// the new rows.
+	if fdJob.DatasetVersion != 1 {
+		t.Fatalf("pre-delta job pinned to version %d, want 1", fdJob.DatasetVersion)
+	}
+	code, data = postJSON(t, base+"/v1/datasets/zips/delta", `{"inserts":[["10999","Berlin","XX"]]}`)
+	if code != http.StatusOK {
+		t.Fatalf("delta: status %d: %s", code, data)
+	}
+	var deltaResp struct {
+		Dataset struct {
+			Version int `json:"version"`
+			Rows    int `json:"rows"`
+		} `json:"dataset"`
+		Inserts int `json:"inserts"`
+	}
+	if err := json.Unmarshal(data, &deltaResp); err != nil {
+		t.Fatal(err)
+	}
+	if deltaResp.Dataset.Version != 2 || deltaResp.Dataset.Rows != 6 || deltaResp.Inserts != 1 {
+		t.Fatalf("delta response: %+v, want version 2, 6 rows, 1 insert", deltaResp)
+	}
+	fdJob2 := runJob(t, base, `{"dataset":"zips","mode":"fd","threads":1}`)
+	if fdJob2.Status != "done" || fdJob2.DatasetVersion != 2 {
+		t.Fatalf("post-delta fd job: status %q version %d (%s), want done on version 2",
+			fdJob2.Status, fdJob2.DatasetVersion, fdJob2.Error)
+	}
+	csv2 := filepath.Join(dataDir, "zips2.csv")
+	if err := os.WriteFile(csv2, []byte(smokeCSV+"10999,Berlin,XX\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := exec.Command(cli, "-threads", "1", csv2).Output()
+	if err != nil {
+		t.Fatalf("cold CLI run on delta'd content: %v", err)
+	}
+	cold2 := strings.TrimRight(string(out2), "\n")
+	warm2 := strings.Join(fdJob2.Result.FDs, "\n")
+	if warm2 != cold2 {
+		t.Fatalf("post-delta warm FDs diverge from cold run over the delta'd content\nwarm:\n%s\ncold:\n%s", warm2, cold2)
+	}
+	if warm2 == warm {
+		t.Fatal("post-delta FD set did not change even though the insert breaks City->State")
+	}
+
 	// The finished job's flight recorder holds the full server-stage
 	// timeline, and the Chrome rendering is a loadable trace-event document.
 	code, data = getBody(t, base+"/v1/jobs/"+fdJob.ID+"/trace")
@@ -253,8 +301,11 @@ func TestServeSmoke(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(string(data), "hyfdd_up 1") {
 		t.Fatalf("metrics: %d\n%.400s", code, data)
 	}
-	if !strings.Contains(string(data), `hyfdd_jobs_total{status="done"} 4`) {
+	if !strings.Contains(string(data), `hyfdd_jobs_total{status="done"} 5`) {
 		t.Fatalf("metrics missing done-job counter:\n%.1500s", data)
+	}
+	if !strings.Contains(string(data), "hyfdd_dataset_deltas_total 1") {
+		t.Fatalf("metrics missing dataset-delta counter:\n%.1500s", data)
 	}
 	if !strings.Contains(string(data), "hyfd_ranked_emitted_total 2") {
 		t.Fatalf("metrics missing ranked-emitted counter:\n%.1500s", data)

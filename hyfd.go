@@ -54,6 +54,10 @@ var ErrUnknownAlgorithm = errors.New("unknown algorithm")
 // Relation is a named relational instance (schema + rows of string cells).
 type Relation = relation.Relation
 
+// Row is one relation row: a string cell per column. Delta batches are built
+// from Rows.
+type Row = relation.Row
+
 // NewRelation returns an empty relation with the given name and columns.
 func NewRelation(name string, columns []string) *Relation {
 	return relation.New(name, columns)
@@ -163,6 +167,10 @@ type Result struct {
 	// exactly the prefix of the full canonical cover rescored offline —
 	// early termination changes the work, never the answer.
 	Ranked []RankedFD
+	// Dataset is the advanced snapshot an incremental run produced by
+	// applying the request's Delta (ModeIncremental). Carry it — together
+	// with Set — into the next incremental request to continue the chain.
+	Dataset *Dataset
 	// Stats reports phase switches, comparisons, validations, and whether
 	// the result is complete.
 	Stats *Stats
@@ -215,6 +223,16 @@ func DiscoverWithContext(ctx context.Context, algorithm string, rel *Relation, o
 // run yields results bit-for-bit identical to a cold run on the underlying
 // relation.
 type Dataset = dataset.Dataset
+
+// Delta describes one batch of updates against a Dataset snapshot: rows to
+// delete (matched by value against the snapshot) and rows to append. Apply
+// it with Dataset.Apply to advance the snapshot chain, or submit it through
+// Run with ModeIncremental to additionally maintain an FD result.
+type Delta = dataset.Delta
+
+// Provenance records how a delta snapshot was derived from its parent; see
+// Dataset.Provenance.
+type Provenance = dataset.Provenance
 
 // PrepareOptions parameterizes Prepare. The zero value uses null=null
 // semantics and one worker per available CPU.

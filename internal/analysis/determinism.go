@@ -17,6 +17,10 @@ var determinismScopes = []string{
 	"internal/inductor",
 	"internal/validator",
 	"internal/fdtree",
+	// internal/incremental maintains FD covers that must stay byte-identical
+	// to cold re-runs; clock or randomness leaks would break the digest
+	// equality the incremental contract promises.
+	"internal/incremental",
 	// internal/rank turns scores into result order and early-cut decisions,
 	// so any clock/randomness leak would reorder the ranked stream itself.
 	"internal/rank",

@@ -18,6 +18,32 @@ func MutateShared(ds *dataset.Dataset) {
 	ds.Index().NumRows++         // want "bitsetalias: write through a pli.Index accessor result"
 }
 
+// Chain hands out the snapshot version chain the way a registry would:
+// the returned slice aliases shared bookkeeping, and the snapshots are
+// shared artifacts themselves.
+func Chain(ds *dataset.Dataset) []*dataset.Dataset { return []*dataset.Dataset{ds} }
+
+// Snapshot hands out one shared snapshot.
+func Snapshot(ds *dataset.Dataset) *dataset.Dataset { return ds }
+
+// MutateSnapshots writes through accessor results that flow from the
+// Dataset artifact itself — the delta chain's snapshots are immutable once
+// built, so both the chain slots and the pointed-to snapshots are findings.
+func MutateSnapshots(ds *dataset.Dataset) {
+	Chain(ds)[0] = nil                // want "bitsetalias: write through a dataset.Dataset accessor result"
+	*Snapshot(ds) = dataset.Dataset{} // want "bitsetalias: write through a dataset.Dataset accessor result"
+	Snapshot(ds).Index().NumRows = 0  // want "bitsetalias: write through a pli.Index accessor result"
+}
+
+// WalkChain reads the chain without writing through it: no finding.
+func WalkChain(ds *dataset.Dataset) int {
+	n := 0
+	for _, s := range Chain(ds) {
+		n += s.Index().NumRows
+	}
+	return n
+}
+
 // ReadShared reads shared state freely and writes only locally built
 // artifacts: no finding.
 func ReadShared(ds *dataset.Dataset) int {

@@ -56,6 +56,8 @@ type Dataset struct {
 	threads  int
 	ix       *pli.Index
 	prepTime time.Duration
+	version  int
+	prov     *Provenance
 }
 
 // Prepare runs Algorithm 1 (PLI construction + record inversion) once over
@@ -96,6 +98,7 @@ func Prepare(ctx context.Context, rel *relation.Relation, opts Options) (*Datase
 		ix:      ix,
 		//hyfdvet:allow determinism — wall-clock telemetry only; never influences the FD set
 		prepTime: time.Since(start),
+		version:  1,
 	}, nil
 }
 
@@ -119,10 +122,15 @@ func (d *Dataset) Threads() int { return d.threads }
 // not write through it.
 func (d *Dataset) Index() *pli.Index { return d.ix }
 
-// Plis returns the per-attribute PLIs in attribute order. The slice and the
-// PLIs it points to are read-only shared state: callers must not write
-// through them.
-func (d *Dataset) Plis() []*pli.PLI { return d.ix.Plis }
+// Plis returns the per-attribute PLIs in attribute order. The returned slice
+// is a fresh copy, so reordering or truncating it cannot corrupt the shared
+// index; the PLIs it points to remain read-only shared state and callers must
+// not write through them (the hyfdvet bitsetalias analyzer enforces this).
+func (d *Dataset) Plis() []*pli.PLI {
+	out := make([]*pli.PLI, len(d.ix.Plis))
+	copy(out, d.ix.Plis)
+	return out
+}
 
 // NumRows returns the number of records of the prepared relation.
 func (d *Dataset) NumRows() int { return d.ix.NumRows }
@@ -139,6 +147,16 @@ func (d *Dataset) NewCache() *pli.Cache {
 }
 
 // PreprocessingTime returns the wall-clock time Prepare spent building the
-// PLIs and compressed records. Warm runs over the Dataset report ~zero
-// preprocessing time of their own; this value is the amortized cost.
+// PLIs and compressed records (or, for a delta snapshot, the time Apply spent
+// extending them). Warm runs over the Dataset report ~zero preprocessing time
+// of their own; this value is the amortized cost.
 func (d *Dataset) PreprocessingTime() time.Duration { return d.prepTime }
+
+// Version returns the snapshot version: 1 for a freshly Prepared dataset,
+// and parent+1 for every snapshot produced by Apply.
+func (d *Dataset) Version() int { return d.version }
+
+// Provenance returns how this snapshot was derived from its parent, or nil
+// for a root snapshot produced by Prepare. The returned value is read-only
+// shared state: callers must not mutate it.
+func (d *Dataset) Provenance() *Provenance { return d.prov }

@@ -20,11 +20,19 @@ type Artifact struct {
 	Title      string `json:"title"`
 	// CreatedUnix is the artifact's creation time (Unix seconds, UTC).
 	CreatedUnix int64    `json:"created_unix"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Results     []Result `json:"results"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's worker ceiling at artifact creation —
+	// the bound that actually limits multi-threaded runs, which can sit
+	// below NumCPU in containers.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// SingleCPUCaveat flags artifacts produced with only one schedulable
+	// CPU: every multi-threaded variant then time-slices a single core, so
+	// parallel "speedups" in this artifact measure overhead, not speedup.
+	SingleCPUCaveat bool     `json:"single_cpu_caveat"`
+	Results         []Result `json:"results"`
 	// Derived holds the experiment's condensed scalar metrics (see
 	// Experiment.Derive), e.g. the prep experiment's parallel speedups.
 	Derived map[string]float64 `json:"derived,omitempty"`
@@ -41,8 +49,10 @@ func NewArtifact(exp Experiment, results []Result) Artifact {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Results:     results,
 	}
+	a.SingleCPUCaveat = a.NumCPU <= 1 || a.GOMAXPROCS <= 1
 	if exp.Derive != nil {
 		a.Derived = exp.Derive(results)
 	}

@@ -58,15 +58,16 @@ type Experiment struct {
 }
 
 // Experiments returns the six paper-reproduction experiments plus the
-// preprocessing-speedup, dataset-reuse, and ranked-discovery probes.
+// preprocessing-speedup, dataset-reuse, ranked-discovery, and incremental
+// maintenance probes.
 func Experiments(opts Options) []Experiment {
 	return []Experiment{
-		Fig6(opts), Fig7(opts), Table1(opts), Table2(opts), Table3(opts), Fig8(opts), Prep(opts), DatasetReuse(opts), Ranked(opts),
+		Fig6(opts), Fig7(opts), Table1(opts), Table2(opts), Table3(opts), Fig8(opts), Prep(opts), DatasetReuse(opts), Ranked(opts), Incremental(opts),
 	}
 }
 
 // ByID returns one experiment by its id (fig6, fig7, table1, table2,
-// table3, fig8, prep, dataset_reuse, ranked).
+// table3, fig8, prep, dataset_reuse, ranked, incremental).
 func ByID(id string, opts Options) (Experiment, error) {
 	for _, e := range Experiments(opts) {
 		if e.ID == id {
@@ -497,6 +498,107 @@ func Ranked(opts Options) Experiment {
 					det = 1.0
 				}
 				derived["ranked_deterministic_"+name] = det
+			}
+			return derived
+		},
+	}
+}
+
+// incrementalDatasets are the incremental experiment's subjects: two Table 1
+// datasets with structure enough that full discovery has real cost to beat.
+var incrementalDatasets = []string{"abalone", "ncvoter"}
+
+// incrementalRows is each dataset's materialized size; incrementalDeltaPct
+// sizes the held-back update batch as a fraction of it (1 % — the streaming
+// regime incremental maintenance targets).
+const (
+	incrementalRows     = 2000
+	incrementalDeltaPct = 0.01
+	incrementalThreads  = 4
+)
+
+// Incremental — update-batch maintenance vs cold re-discovery: per dataset,
+// one cold HyFD run over the full relation (Prepare + discovery, the cost a
+// non-incremental pipeline pays per update batch) and two incremental runs
+// (single- and multi-threaded) that Apply the last 1 % of rows as an insert
+// batch onto a pre-built base snapshot and Maintain its FD cover. Every job
+// records the cover digest; the derived exactness bit demands all three are
+// byte-identical — the maintained cover IS the cold cover. The derived
+// metrics record both costs, the batch-latency speedup
+// (incremental_speedup_<ds>), and incremental_exact_<ds>.
+func Incremental(opts Options) Experiment {
+	deltaRows := int(float64(incrementalRows) * incrementalDeltaPct)
+	if deltaRows < 1 {
+		deltaRows = 1
+	}
+	var jobs []Spec
+	for _, name := range incrementalDatasets {
+		jobs = append(jobs,
+			Spec{Algorithm: HyFDName, Dataset: name, Rows: incrementalRows, Threads: 1, Digest: true},
+			Spec{Algorithm: HyFDName, Dataset: name, Rows: incrementalRows, Threads: 1, DeltaRows: deltaRows, Incremental: true, Digest: true},
+			Spec{Algorithm: HyFDName, Dataset: name, Rows: incrementalRows, Threads: incrementalThreads, DeltaRows: deltaRows, Incremental: true, Digest: true},
+		)
+	}
+	findInc := func(results []Result, name string, threads int, incremental bool) *Result {
+		for i := range results {
+			s := results[i].Spec
+			if s.Dataset == name && s.Threads == threads && s.Incremental == incremental && results[i].Err == "" {
+				return &results[i]
+			}
+		}
+		return nil
+	}
+	exact := func(cold, i1, in *Result) bool {
+		return cold.CoverDigest != "" &&
+			cold.CoverDigest == i1.CoverDigest && cold.CoverDigest == in.CoverDigest
+	}
+	return Experiment{
+		ID: "incremental",
+		Title: fmt.Sprintf("Incremental maintenance: %d-row insert batches (1%%) vs cold re-discovery on %s (%d rows)",
+			deltaRows, strings.Join(incrementalDatasets, ", "), incrementalRows),
+		Jobs: jobs,
+		Render: func(w io.Writer, results []Result) {
+			tw := newTable("Dataset", "FDs", "cold [s]", "incr 1t [s]", fmt.Sprintf("incr %dt [s]", incrementalThreads), "speedup", "exact")
+			for _, name := range incrementalDatasets {
+				cold := findInc(results, name, 1, false)
+				i1 := findInc(results, name, 1, true)
+				in := findInc(results, name, incrementalThreads, true)
+				if cold == nil || i1 == nil || in == nil {
+					continue
+				}
+				speedup := "-"
+				if i1.Seconds > 0 {
+					speedup = fmt.Sprintf("%.2fx", cold.Seconds/i1.Seconds)
+				}
+				ex := "no"
+				if exact(cold, i1, in) {
+					ex = "yes"
+				}
+				tw.row(name, cell(fmt.Sprint(cold.FDs), cold), timeCell(cold), timeCell(i1), timeCell(in), speedup, ex)
+			}
+			tw.write(w)
+		},
+		Derive: func(results []Result) map[string]float64 {
+			derived := map[string]float64{}
+			for _, name := range incrementalDatasets {
+				cold := findInc(results, name, 1, false)
+				i1 := findInc(results, name, 1, true)
+				in := findInc(results, name, incrementalThreads, true)
+				if cold == nil || i1 == nil || in == nil {
+					continue
+				}
+				derived["delta_rows_"+name] = float64(i1.Spec.DeltaRows)
+				derived["cold_seconds_"+name] = cold.Seconds
+				derived["incremental_seconds_"+name] = i1.Seconds
+				derived[fmt.Sprintf("incremental_seconds_%dt_%s", incrementalThreads, name)] = in.Seconds
+				if i1.Seconds > 0 {
+					derived["incremental_speedup_"+name] = cold.Seconds / i1.Seconds
+				}
+				ex := 0.0
+				if exact(cold, i1, in) {
+					ex = 1.0
+				}
+				derived["incremental_exact_"+name] = ex
 			}
 			return derived
 		},

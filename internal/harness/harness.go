@@ -8,6 +8,8 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
@@ -27,6 +29,7 @@ import (
 	"hyfd/internal/dataset"
 	"hyfd/internal/datasets"
 	"hyfd/internal/fd"
+	"hyfd/internal/incremental"
 	"hyfd/internal/metrics"
 	"hyfd/internal/rank"
 	"hyfd/internal/relation"
@@ -89,6 +92,21 @@ type Spec struct {
 	// dataset_reuse experiment. The excluded preprocessing cost is reported
 	// in Result.PrepSeconds.
 	Warm bool `json:"warm,omitempty"`
+	// DeltaRows holds back the materialized relation's last DeltaRows rows
+	// as an insert batch for an Incremental spec; the base snapshot covers
+	// the remaining prefix. The final relation — base plus batch — is
+	// row-for-row the full materialization, so a cold run over the same spec
+	// sans Incremental is the exact comparison target.
+	DeltaRows int `json:"delta_rows,omitempty"`
+	// Incremental measures update-batch maintenance instead of discovery:
+	// the base snapshot and its FD cover are built before the timer starts
+	// (cost reported in PrepSeconds), and Seconds covers exactly
+	// Dataset.Apply plus incremental.Maintain over the DeltaRows batch.
+	Incremental bool `json:"incremental,omitempty"`
+	// Digest records a canonical fingerprint of the run's complete FD cover
+	// in Result.CoverDigest (complete HyFD and Incremental runs only) — the
+	// cross-run exactness check of the incremental experiment.
+	Digest bool `json:"digest,omitempty"`
 }
 
 // Result is the outcome of one measurement job.
@@ -110,6 +128,11 @@ type Result struct {
 	// Stats carries HyFD's full run telemetry (phase timings, comparison
 	// and validation counts) when the run completed; nil for baselines.
 	Stats *core.Stats `json:"stats,omitempty"`
+	// CoverDigest is the sha256 fingerprint of the run's complete FD cover
+	// in canonical order, recorded when Spec.Digest is set. Byte-equal
+	// digests — incremental vs cold, one worker vs many — certify identical
+	// covers without embedding thousands of FDs in the artifact.
+	CoverDigest string `json:"cover_digest,omitempty"`
 	// RankedDigest is a canonical rendering of a TopK run's output
 	// ("rank:score:lhs->rhs" per entry) — byte-equal digests across thread
 	// counts are the determinism check of the ranked experiment.
@@ -209,11 +232,41 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 		threads = 1
 	}
 
+	// An Incremental spec pays for the base snapshot and its cover before
+	// the timer: Seconds then measures exactly the per-batch maintenance
+	// cost — Apply plus Maintain — that the incremental experiment contrasts
+	// with a cold Prepare + full discovery over the same final relation.
+	var (
+		incBase  *dataset.Dataset
+		incCover *fd.Set
+		incDelta dataset.Delta
+	)
+	if spec.Incremental {
+		n, k := rel.NumRows(), spec.DeltaRows
+		if k <= 0 || k >= n {
+			res.Err = fmt.Sprintf("incremental spec needs 0 < delta_rows < rows (got %d of %d)", k, n)
+		} else {
+			incDelta.Inserts = append(incDelta.Inserts, rel.Rows[n-k:]...)
+			baseRel := rel.Head(n - k)
+			baseRel.Name = rel.Name
+			prepStart := time.Now()
+			d, err := dataset.Prepare(ctx, baseRel, dataset.Options{Threads: threads})
+			if err == nil {
+				incBase = d
+				incCover, _, err = core.DiscoverDataset(ctx, d, core.Config{Threads: threads})
+			}
+			res.PrepSeconds = time.Since(prepStart).Seconds()
+			if err != nil {
+				setErr(err)
+			}
+		}
+	}
+
 	// A Warm spec prepares the Dataset before the timer starts: Seconds
 	// then covers only the discovery work, and PrepSeconds records the
 	// excluded one-off preprocessing cost (the quantity reuse amortizes).
 	var ds *dataset.Dataset
-	if spec.Warm && !spec.PrepOnly {
+	if spec.Warm && !spec.PrepOnly && !spec.Incremental {
 		prepStart := time.Now()
 		d, err := dataset.Prepare(ctx, rel, dataset.Options{Threads: threads})
 		res.PrepSeconds = time.Since(prepStart).Seconds()
@@ -226,7 +279,29 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 
 	start := time.Now()
 	if res.Err != "" {
-		// Warm preparation failed; there is nothing to measure.
+		// Pre-timer preparation failed; there is nothing to measure.
+	} else if spec.Incremental {
+		snap, err := incBase.Apply(ctx, incDelta)
+		var set *fd.Set
+		var istats incremental.Stats
+		if err == nil {
+			set, istats, err = incremental.Maintain(ctx, snap, incCover, incremental.Config{Threads: threads})
+		}
+		res.Seconds = time.Since(start).Seconds()
+		if err != nil {
+			setErr(err)
+		} else {
+			res.FDs = set.Size()
+			res.Stats = &core.Stats{
+				Rows: snap.NumRows(), Cols: snap.NumCols(), FDCount: set.Size(),
+				Complete: true, Warm: true, Threads: threads,
+				Validations:       int64(istats.Checks),
+				PreprocessingTime: snap.PreprocessingTime(),
+			}
+			if spec.Digest {
+				res.CoverDigest = coverDigest(set)
+			}
+		}
 	} else if spec.PrepOnly {
 		d, err := dataset.Prepare(ctx, rel, dataset.Options{Threads: threads})
 		res.Seconds = time.Since(start).Seconds()
@@ -288,6 +363,9 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 				res.FDs = set.Size()
 				res.Switches = stats.PhaseSwitches
 				res.Stats = stats
+				if spec.Digest {
+					res.CoverDigest = coverDigest(set)
+				}
 				if reg != nil {
 					snap := reg.Snapshot()
 					res.Metrics = &snap
@@ -326,6 +404,13 @@ func MeasureContext(ctx context.Context, spec Spec, rel *relation.Relation) Resu
 	}
 	res.PeakHeap = peak.Load()
 	return res
+}
+
+// coverDigest fingerprints a complete FD cover: the sha256 of the set's
+// canonical deterministic rendering, hex-encoded.
+func coverDigest(set *fd.Set) string {
+	sum := sha256.Sum256([]byte(set.String()))
+	return hex.EncodeToString(sum[:])
 }
 
 // rankedDigest renders a ranked result canonically, one "rank:score:fd"

@@ -57,10 +57,39 @@ func TestMaterializeCapsRowsAndCols(t *testing.T) {
 	}
 }
 
+// TestIncrementalMeasurement runs the incremental path in-process and pins
+// its exactness contract: the maintained cover's digest equals the cold
+// run's over the same final relation.
+func TestIncrementalMeasurement(t *testing.T) {
+	cold := ExecuteInProcess(Spec{Algorithm: HyFDName, Dataset: "bridges", Rows: 300, Threads: 1, Digest: true})
+	if cold.Err != "" {
+		t.Fatalf("cold run: %s", cold.Err)
+	}
+	if cold.CoverDigest == "" {
+		t.Fatal("Digest spec produced no cover digest")
+	}
+	inc := ExecuteInProcess(Spec{Algorithm: HyFDName, Dataset: "bridges", Rows: 300, Threads: 1,
+		DeltaRows: 3, Incremental: true, Digest: true})
+	if inc.Err != "" {
+		t.Fatalf("incremental run: %s", inc.Err)
+	}
+	if inc.CoverDigest != cold.CoverDigest || inc.FDs != cold.FDs {
+		t.Fatalf("incremental diverges from cold: %d FDs digest %s, want %d FDs digest %s",
+			inc.FDs, inc.CoverDigest, cold.FDs, cold.CoverDigest)
+	}
+	if inc.PrepSeconds <= 0 {
+		t.Fatal("incremental run did not report the excluded base cost")
+	}
+	if bad := ExecuteInProcess(Spec{Algorithm: HyFDName, Dataset: "bridges", Rows: 300,
+		Incremental: true}); bad.Err == "" {
+		t.Fatal("incremental spec without delta_rows accepted")
+	}
+}
+
 func TestExperimentsDefinitions(t *testing.T) {
 	opts := DefaultOptions()
 	exps := Experiments(opts)
-	if len(exps) != 9 {
+	if len(exps) != 10 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	ids := map[string]bool{}
@@ -70,7 +99,7 @@ func TestExperimentsDefinitions(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, id := range []string{"fig6", "fig7", "table1", "table2", "table3", "fig8", "prep", "dataset_reuse", "ranked"} {
+	for _, id := range []string{"fig6", "fig7", "table1", "table2", "table3", "fig8", "prep", "dataset_reuse", "ranked", "incremental"} {
 		if !ids[id] {
 			t.Fatalf("experiment %q missing", id)
 		}

@@ -593,9 +593,14 @@ type ServingArtifact struct {
 	GOOS        string         `json:"goos"`
 	GOARCH      string         `json:"goarch"`
 	NumCPU      int            `json:"num_cpu"`
-	Workers     int            `json:"workers"`
-	QueueDepth  int            `json:"queue_depth"`
-	Levels      []ServingLevel `json:"levels"`
+	// GOMAXPROCS and SingleCPUCaveat mirror Artifact: the scheduler ceiling
+	// the sweep actually ran under, and whether one schedulable CPU makes
+	// the concurrency results time-slicing artifacts.
+	GOMAXPROCS      int            `json:"gomaxprocs"`
+	SingleCPUCaveat bool           `json:"single_cpu_caveat"`
+	Workers         int            `json:"workers"`
+	QueueDepth      int            `json:"queue_depth"`
+	Levels          []ServingLevel `json:"levels"`
 }
 
 // Filename returns the artifact's canonical file name.
@@ -634,9 +639,11 @@ func RunServing(ctx context.Context, opts ServingOptions) (*ServingArtifact, err
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Workers:     opts.Workers,
 		QueueDepth:  opts.QueueDepth,
 	}
+	art.SingleCPUCaveat = art.NumCPU <= 1 || art.GOMAXPROCS <= 1
 	for _, rps := range opts.LoadsRPS {
 		spec := ServingTraceSpec{
 			Seed:       opts.Seed,

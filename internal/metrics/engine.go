@@ -56,6 +56,18 @@ type EngineMetrics struct {
 	RankedTimeToFirst *Histogram // hyfd_ranked_time_to_first_seconds
 	RankedTimeToTopK  *Histogram // hyfd_ranked_time_to_topk_seconds
 
+	// Incremental maintenance (delta snapshots).
+	IncrementalRuns        *Counter   // hyfd_incremental_runs_total
+	IncrementalInsertRows  *Counter   // hyfd_incremental_delta_rows_total{kind="insert"}
+	IncrementalDeleteRows  *Counter   // hyfd_incremental_delta_rows_total{kind="delete"}
+	IncrementalSharedAttrs *Counter   // hyfd_incremental_shared_attrs_total
+	IncrementalBreakable   *Counter   // hyfd_incremental_breakable_total
+	IncrementalChecks      *Counter   // hyfd_incremental_checks_total
+	IncrementalSpecialized *Counter   // hyfd_incremental_specialized_total
+	IncrementalGeneralized *Counter   // hyfd_incremental_generalized_total
+	IncrementalApplyTime   *Histogram // hyfd_incremental_apply_duration_seconds
+	IncrementalDuration    *Histogram // hyfd_incremental_duration_seconds
+
 	// Per-run outcomes.
 	Runs          *Counter   // hyfd_runs_total
 	RunDuration   *Histogram // hyfd_run_duration_seconds
@@ -76,6 +88,8 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 	}
 	candidates := r.CounterVec("hyfd_validation_candidates_total",
 		"FD candidates checked during Phase 2, by verdict.", "verdict")
+	deltaRows := r.CounterVec("hyfd_incremental_delta_rows_total",
+		"Delta rows applied to dataset snapshots, by kind.", "kind")
 	return &EngineMetrics{
 		IngestedRows: r.Counter("hyfd_ingest_rows_total",
 			"Rows parsed from external input into relations."),
@@ -129,6 +143,25 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 			"Elapsed run time until a ranked run's first result stabilized.", nil),
 		RankedTimeToTopK: r.Histogram("hyfd_ranked_time_to_topk_seconds",
 			"Elapsed run time until a ranked run's full top-k stabilized.", nil),
+
+		IncrementalRuns: r.Counter("hyfd_incremental_runs_total",
+			"Completed incremental FD maintenance runs."),
+		IncrementalInsertRows: deltaRows.With("insert"),
+		IncrementalDeleteRows: deltaRows.With("delete"),
+		IncrementalSharedAttrs: r.Counter("hyfd_incremental_shared_attrs_total",
+			"Attributes whose cluster lists were structurally shared with the parent snapshot across all Apply calls."),
+		IncrementalBreakable: r.Counter("hyfd_incremental_breakable_total",
+			"Base-cover FDs the deltas' inserted records could have invalidated."),
+		IncrementalChecks: r.Counter("hyfd_incremental_checks_total",
+			"Direct-refinement validations performed by incremental maintenance."),
+		IncrementalSpecialized: r.Counter("hyfd_incremental_specialized_total",
+			"FD candidates added while specializing broken FDs."),
+		IncrementalGeneralized: r.Counter("hyfd_incremental_generalized_total",
+			"FDs added by delete-driven re-generalization."),
+		IncrementalApplyTime: r.Histogram("hyfd_incremental_apply_duration_seconds",
+			"Wall-clock duration of each Dataset.Apply snapshot advance.", nil),
+		IncrementalDuration: r.Histogram("hyfd_incremental_duration_seconds",
+			"Wall-clock duration of each incremental maintenance run.", nil),
 
 		Runs: r.Counter("hyfd_runs_total",
 			"Completed discovery runs."),
@@ -193,6 +226,20 @@ func (m *EngineMetrics) Observer() trace.Observer {
 		case trace.Done:
 			m.Runs.Inc()
 			m.RunDuration.Observe(ev.Duration.Seconds())
+			m.FDsDiscovered.Set(float64(ev.FDs))
+		case trace.DeltaApplied:
+			m.IncrementalInsertRows.Add(int64(ev.Inserts))
+			m.IncrementalDeleteRows.Add(int64(ev.Deletes))
+			m.IncrementalSharedAttrs.Add(int64(ev.SharedAttrs))
+			m.IncrementalApplyTime.Observe(ev.Duration.Seconds())
+		case trace.IncrementalCandidates:
+			m.IncrementalBreakable.Add(int64(ev.Breakable))
+		case trace.IncrementalDone:
+			m.IncrementalRuns.Inc()
+			m.IncrementalChecks.Add(int64(ev.Checks))
+			m.IncrementalSpecialized.Add(int64(ev.Specialized))
+			m.IncrementalGeneralized.Add(int64(ev.Generalized))
+			m.IncrementalDuration.Observe(ev.Duration.Seconds())
 			m.FDsDiscovered.Set(float64(ev.FDs))
 		}
 		m.sampleRuntime()

@@ -36,6 +36,12 @@ func (ns NullSemantics) String() string {
 // empty fields to Null when configured to do so.
 const Null = "\x00<null>"
 
+// Row is one record of a relation: a slice of cells in column order. It is
+// an alias, not a defined type, so [][]string row literals and the existing
+// Rows field stay assignable; the dataset layer's Delta uses it to describe
+// inserted and deleted records.
+type Row = []string
+
 // Relation is a named relational instance: a schema of column names and a
 // row-major matrix of string cells.
 type Relation struct {

@@ -50,6 +50,34 @@ func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// handleDatasetDelta applies one insert/delete batch to a registration:
+// POST /v1/datasets/{name}/delta. Success advances the dataset to a new
+// immutable snapshot version; jobs admitted earlier keep the version they
+// resolved. A delta racing another delta on the same dataset answers 409
+// (retry against the new version); a draining server answers 503 with
+// Retry-After, the same contract as job admission.
+func (s *Server) handleDatasetDelta(w http.ResponseWriter, r *http.Request) {
+	var req DeltaRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		s.writeError(w, ErrShuttingDown)
+		return
+	}
+	resp, err := s.datasets.applyDelta(r.Context(), r.PathValue("name"), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.inst.deltas.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleDatasetList lists registrations: GET /v1/datasets.
 func (s *Server) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
@@ -59,12 +87,12 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, _ *http.Request) {
 
 // handleDatasetGet returns one registration: GET /v1/datasets/{name}.
 func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
-	entry, err := s.datasets.lookup(r.PathValue("name"))
+	_, info, err := s.datasets.lookup(r.PathValue("name"))
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, entry.info)
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleDatasetDelete unregisters a dataset: DELETE /v1/datasets/{name}.

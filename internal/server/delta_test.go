@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// postDelta issues one delta and returns the status code with the decoded
+// response (zero-valued on errors).
+func postDelta(t *testing.T, ts *httptest.Server, name string, req DeltaRequest) (int, DeltaResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	code, data := do(t, "POST", ts.URL+"/v1/datasets/"+name+"/delta", string(body))
+	var resp DeltaResponse
+	if code == http.StatusOK {
+		if err := json.Unmarshal(data, &resp); err != nil {
+			t.Fatalf("delta response: %v: %s", err, data)
+		}
+	}
+	return code, resp
+}
+
+// TestDatasetDelta covers the streaming-ingest happy path: a delta advances
+// the registration to version 2, jobs over the new version see the new rows,
+// and the result is byte-identical to a fresh registration of the final
+// relation — the server-level exactness contract.
+func TestDatasetDelta(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	registerCSV(t, ts, "t", tinyCSV)
+
+	code, resp := postDelta(t, ts, "t", DeltaRequest{
+		Inserts: [][]string{{"5", "z", "p"}, {"6", "z", "q"}},
+		Deletes: [][]string{{"1", "x", "p"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("delta: status %d", code)
+	}
+	if resp.Dataset.Version != 2 || resp.Dataset.Rows != 5 {
+		t.Fatalf("delta response %+v, want version 2 with 5 rows", resp)
+	}
+	if resp.Inserts != 2 || resp.Deletes != 1 {
+		t.Fatalf("delta counts %+v", resp)
+	}
+
+	// The registration itself now reports the new version.
+	codeGet, data := do(t, "GET", ts.URL+"/v1/datasets/t", "")
+	var info DatasetInfo
+	if err := json.Unmarshal(data, &info); err != nil || codeGet != http.StatusOK {
+		t.Fatalf("GET dataset: %d %v", codeGet, err)
+	}
+	if info.Version != 2 || info.Rows != 5 {
+		t.Fatalf("dataset info %+v, want version 2 with 5 rows", info)
+	}
+
+	// A job admitted after the delta is pinned to version 2 and must match a
+	// cold registration of the same final relation byte-for-byte.
+	view := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "t"}).ID)
+	if view.Status != StatusDone || view.Result == nil {
+		t.Fatalf("job after delta: %+v", view)
+	}
+	if view.DatasetVersion != 2 {
+		t.Fatalf("job pinned to version %d, want 2", view.DatasetVersion)
+	}
+	registerCSV(t, ts, "cold", "A,B,C\n2,x,q\n3,y,p\n4,y,q\n5,z,p\n6,z,q\n")
+	coldView := waitTerminal(t, ts, submitJob(t, ts, JobRequest{Dataset: "cold"}).ID)
+	if coldView.Status != StatusDone || coldView.Result == nil {
+		t.Fatalf("cold job: %+v", coldView)
+	}
+	if !reflect.DeepEqual(view.Result.FDs, coldView.Result.FDs) {
+		t.Fatalf("FDs over the delta chain diverge from a cold registration\n got: %v\nwant: %v",
+			view.Result.FDs, coldView.Result.FDs)
+	}
+	if coldView.DatasetVersion != 1 {
+		t.Fatalf("cold job pinned to version %d, want 1", coldView.DatasetVersion)
+	}
+}
+
+func TestDatasetDeltaErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	registerCSV(t, ts, "t", tinyCSV)
+
+	cases := map[string]struct {
+		name string
+		req  DeltaRequest
+		want int
+	}{
+		"unknown dataset": {"nope", DeltaRequest{Inserts: [][]string{{"5", "z", "p"}}}, http.StatusNotFound},
+		"empty delta":     {"t", DeltaRequest{}, http.StatusBadRequest},
+		"bad arity":       {"t", DeltaRequest{Inserts: [][]string{{"too", "short"}}}, http.StatusBadRequest},
+		"unmatched row":   {"t", DeltaRequest{Deletes: [][]string{{"no", "such", "row"}}}, http.StatusBadRequest},
+	}
+	for tag, tc := range cases {
+		if code, _ := postDelta(t, ts, tc.name, tc.req); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tag, code, tc.want)
+		}
+	}
+	// None of the rejections may have advanced the version.
+	_, data := do(t, "GET", ts.URL+"/v1/datasets/t", "")
+	var info DatasetInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("rejected deltas advanced the version to %d", info.Version)
+	}
+}
+
+// TestDatasetDeltaConflict pins the claim-then-apply contract: while one
+// delta holds the claim, a second delta against the same dataset answers 409
+// instead of racing over the same base snapshot.
+func TestDatasetDeltaConflict(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	registerCSV(t, ts, "t", tinyCSV)
+
+	// Take the claim directly — deterministic, no timing window to race.
+	srv.datasets.mu.Lock()
+	srv.datasets.entries["t"].applying = true
+	srv.datasets.mu.Unlock()
+
+	code, _ := postDelta(t, ts, "t", DeltaRequest{Inserts: [][]string{{"5", "z", "p"}}})
+	if code != http.StatusConflict {
+		t.Fatalf("delta during another delta: status %d, want 409", code)
+	}
+
+	srv.datasets.mu.Lock()
+	srv.datasets.entries["t"].applying = false
+	srv.datasets.mu.Unlock()
+	if code, resp := postDelta(t, ts, "t", DeltaRequest{Inserts: [][]string{{"5", "z", "p"}}}); code != http.StatusOK || resp.Dataset.Version != 2 {
+		t.Fatalf("delta after the claim cleared: status %d, %+v", code, resp)
+	}
+}
+
+// TestDatasetDeltaShutdown pins the drain contract: after BeginShutdown the
+// ingest path answers 503 with a Retry-After hint, exactly like job
+// admission. The fake clock makes the hint deterministic — no real timers
+// are involved in computing it.
+func TestDatasetDeltaShutdown(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, RetryAfter: 7 * time.Second, clock: newFakeClock()})
+	registerCSV(t, ts, "t", tinyCSV)
+	srv.BeginShutdown()
+
+	body, _ := json.Marshal(DeltaRequest{Inserts: [][]string{{"5", "z", "p"}}})
+	resp, err := http.Post(ts.URL+"/v1/datasets/t/delta", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("delta during shutdown: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want %q (the configured base, one queue round)", got, "7")
+	}
+}

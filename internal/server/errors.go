@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"hyfd"
+	"hyfd/internal/incremental"
 )
 
 // The server's error vocabulary. Every sentinel maps onto exactly one HTTP
@@ -18,6 +19,10 @@ var (
 	ErrUnknownDataset = errors.New("unknown dataset")
 	// ErrDatasetExists: a registration reuses a taken name (409).
 	ErrDatasetExists = errors.New("dataset already registered")
+	// ErrDeltaConflict: a delta arrived while another delta against the same
+	// dataset was still applying; the entry advances one version at a time,
+	// so the loser must refresh and retry (409).
+	ErrDeltaConflict = errors.New("delta already applying")
 	// ErrUnknownJob: the job id is not in the store (404).
 	ErrUnknownJob = errors.New("unknown job")
 	// ErrQueueFull: admission control rejected the job because the bounded
@@ -45,12 +50,13 @@ func StatusFor(err error) int {
 		return http.StatusOK
 	case errors.Is(err, hyfd.ErrUnknownAlgorithm),
 		errors.Is(err, hyfd.ErrUnknownMode),
+		errors.Is(err, incremental.ErrNotDelta),
 		errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownDataset), errors.Is(err, ErrUnknownJob),
 		errors.Is(err, ErrNoTrace):
 		return http.StatusNotFound
-	case errors.Is(err, ErrDatasetExists):
+	case errors.Is(err, ErrDatasetExists), errors.Is(err, ErrDeltaConflict):
 		return http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
@@ -71,11 +77,14 @@ type errorBody struct {
 	Status int    `json:"status"`
 }
 
-// writeError renders err through the StatusFor mapping. A 429 additionally
-// carries a Retry-After hint (whole seconds, minimum 1).
+// writeError renders err through the StatusFor mapping. A 429 or a 503
+// additionally carries a Retry-After hint (whole seconds, minimum 1): both
+// tell the client the work itself is fine and the server is merely refusing
+// right now — full queue, or draining toward a restart — so a backed-off
+// retry is the correct response.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := StatusFor(err)
-	if status == http.StatusTooManyRequests {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", s.retryAfter())
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -91,6 +91,10 @@ type JobView struct {
 	ID      string     `json:"id"`
 	Status  JobStatus  `json:"status"`
 	Request JobRequest `json:"request"`
+	// DatasetVersion is the snapshot version the job was pinned to at
+	// admission. Deltas applied after admission advance the registration but
+	// never this job: its result is exact for exactly this version.
+	DatasetVersion int `json:"dataset_version"`
 	// Error is set for failed jobs; its HTTP equivalent is ErrorStatus.
 	Error       string `json:"error,omitempty"`
 	ErrorStatus int    `json:"error_status,omitempty"`
@@ -113,9 +117,10 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	ds      *hyfd.Dataset // resolved at admission; immutable
-	request JobRequest
-	req     hyfd.Request // the mapped hyfd request (sans context)
+	ds        *hyfd.Dataset // snapshot resolved at admission; immutable
+	dsVersion int           // its version — the job's pin
+	request   JobRequest
+	req       hyfd.Request // the mapped hyfd request (sans context)
 
 	// rec is the job's flight recorder (nil when tracing is disabled);
 	// root is its "job" span and queueSpan the "queue.wait" span opened at
@@ -171,11 +176,12 @@ func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:            j.id,
-		Status:        j.status,
-		Request:       j.request,
-		CreatedUnixMs: j.createdAt.UnixMilli(),
-		Result:        j.result,
+		ID:             j.id,
+		Status:         j.status,
+		Request:        j.request,
+		DatasetVersion: j.dsVersion,
+		CreatedUnixMs:  j.createdAt.UnixMilli(),
+		Result:         j.result,
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()
@@ -387,6 +393,13 @@ func mapRequest(req JobRequest, ds *hyfd.Dataset) (hyfd.Request, error) {
 	mode, err := hyfd.ParseMode(req.Mode)
 	if err != nil {
 		return hyfd.Request{}, err
+	}
+	// Incremental maintenance is not a job: it needs a base cover and a delta,
+	// neither of which the job API transports. Ingest goes through
+	// POST /v1/datasets/{name}/delta; jobs then run over the new version.
+	if mode == hyfd.ModeIncremental {
+		return hyfd.Request{}, fmt.Errorf("%w: mode %q is not a job mode; apply deltas via POST /v1/datasets/{name}/delta and submit a discovery job over the new version",
+			ErrBadRequest, mode)
 	}
 	// Validate the algorithm at admission, not at run time: a job that can
 	// only fail should be a 400 on POST, not a failed job in the store.

@@ -52,6 +52,9 @@ type GenerateSpec struct {
 // DatasetInfo is the public record of one registered dataset.
 type DatasetInfo struct {
 	Name          string `json:"name"`
+	// Version is the snapshot version jobs over this registration are pinned
+	// to; every accepted delta advances it by one.
+	Version       int    `json:"version"`
 	Rows          int    `json:"rows"`
 	Cols          int    `json:"cols"`
 	NullSemantics string `json:"null_semantics"`
@@ -65,11 +68,17 @@ type DatasetInfo struct {
 	CreatedUnixMs int64  `json:"created_unix_ms"`
 }
 
-// dsEntry is one registered dataset: the immutable prepared Dataset plus
-// its metadata.
+// dsEntry is one registered dataset: the current immutable snapshot plus its
+// metadata. Deltas swap ds for the next snapshot in the chain under the
+// registry lock; jobs keep the pointer they resolved at admission, so they
+// stay pinned to the version current when they were submitted.
 type dsEntry struct {
 	ds   *hyfd.Dataset
 	info DatasetInfo
+	// applying claims the entry for one in-flight delta: a second delta
+	// arriving mid-apply is rejected with ErrDeltaConflict instead of racing
+	// over the same base snapshot (claim-then-apply, like register).
+	applying bool
 }
 
 // dsRegistry maps names to prepared datasets. Registration prepares exactly
@@ -144,6 +153,7 @@ func prepareEntry(ctx context.Context, req DatasetRequest, name, dataDir string)
 	}
 	info := DatasetInfo{
 		Name:          name,
+		Version:       ds.Version(),
 		Rows:          ds.NumRows(),
 		Cols:          ds.NumCols(),
 		NullSemantics: nsName,
@@ -220,15 +230,94 @@ func generate(spec GenerateSpec) (*hyfd.Relation, error) {
 	return rel, nil
 }
 
-// lookup returns the prepared dataset registered under name.
-func (r *dsRegistry) lookup(name string) (*dsEntry, error) {
+// lookup returns the current snapshot and metadata registered under name.
+// It returns copies, not the entry: entries are mutable now that deltas swap
+// the snapshot in place, and callers read their result outside the lock.
+func (r *dsRegistry) lookup(name string) (*hyfd.Dataset, DatasetInfo, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
 	if !ok || e == nil { // nil: registration still preparing
-		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+		return nil, DatasetInfo{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	return e, nil
+	return e.ds, e.info, nil
+}
+
+// DeltaRequest is the JSON body of POST /v1/datasets/{name}/delta: a batch
+// of inserted and deleted rows, each a full record in column order. Deletes
+// match by value against the current snapshot; a delete that matches no
+// remaining row fails the whole batch.
+type DeltaRequest struct {
+	Inserts [][]string `json:"inserts,omitempty"`
+	Deletes [][]string `json:"deletes,omitempty"`
+}
+
+// DeltaResponse reports one accepted delta: the updated registration (new
+// version, new row count) plus the apply cost and how much of the index the
+// new snapshot structurally shares with its parent.
+type DeltaResponse struct {
+	Dataset DatasetInfo `json:"dataset"`
+	// ApplyNs is the incremental preprocessing cost of this delta — the
+	// analogue of PrepareNs for the snapshot chain.
+	ApplyNs     int64 `json:"apply_ns"`
+	Inserts     int   `json:"inserts"`
+	Deletes     int   `json:"deletes"`
+	SharedAttrs int   `json:"shared_attrs"`
+}
+
+// applyDelta advances the named registration to a new snapshot version. The
+// entry is claimed under the lock before the (potentially slow) Apply runs,
+// so concurrent deltas against the same dataset serialize as one winner and
+// ErrDeltaConflict losers instead of both deriving from the same base and
+// silently dropping one batch. Jobs admitted before the swap keep running
+// over the snapshot they resolved — versions are immutable.
+func (r *dsRegistry) applyDelta(ctx context.Context, name string, req DeltaRequest) (DeltaResponse, error) {
+	delta := hyfd.Delta{Inserts: req.Inserts, Deletes: req.Deletes}
+	if delta.IsEmpty() {
+		return DeltaResponse{}, fmt.Errorf("%w: delta has no inserts and no deletes", ErrBadRequest)
+	}
+
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok || e == nil {
+		r.mu.Unlock()
+		return DeltaResponse{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	if e.applying {
+		r.mu.Unlock()
+		return DeltaResponse{}, fmt.Errorf("%w: %q", ErrDeltaConflict, name)
+	}
+	e.applying = true
+	base := e.ds
+	r.mu.Unlock()
+
+	next, err := base.Apply(ctx, delta)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.applying = false
+	if err != nil {
+		if ctx.Err() != nil {
+			return DeltaResponse{}, err
+		}
+		return DeltaResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if r.entries[name] != e {
+		// Unregistered while the delta was applying: the new snapshot has no
+		// registration to land on.
+		return DeltaResponse{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	e.ds = next
+	e.info.Version = next.Version()
+	e.info.Rows = next.NumRows()
+	prov := next.Provenance()
+	return DeltaResponse{
+		Dataset:     e.info,
+		ApplyNs:     next.PreprocessingTime().Nanoseconds(),
+		Inserts:     prov.Inserts,
+		Deletes:     prov.Deletes,
+		SharedAttrs: prov.SharedAttrs,
+	}, nil
 }
 
 // remove deletes the registration. Jobs already holding the Dataset keep

@@ -10,7 +10,12 @@
 // Four pieces compose the server (DESIGN.md §2f):
 //
 //   - the dataset registry (registry.go): name → prepared hyfd.Dataset,
-//     preprocessing paid once at registration, shared read-only by every job;
+//     preprocessing paid once at registration, shared read-only by every job.
+//     Streaming ingest (POST /v1/datasets/{name}/delta) advances a
+//     registration through a chain of immutable snapshot versions via
+//     Dataset.Apply; jobs stay pinned to the version current at admission,
+//     and concurrent deltas serialize claim-then-apply (one winner, 409
+//     losers);
 //   - the job store and bounded run queue (job.go, this file): admission
 //     control rejects with 429 + Retry-After when the queue is full, a
 //     fixed-size worker pool executes jobs, and per-job deadlines (counted
@@ -128,6 +133,7 @@ const (
 type serverMetrics struct {
 	jobsTotal     *metrics.CounterVec // hyfdd_jobs_total{status}
 	rejected      *metrics.Counter    // hyfdd_jobs_rejected_total
+	deltas        *metrics.Counter    // hyfdd_dataset_deltas_total
 	queueDepth    *metrics.Gauge      // hyfdd_queue_depth
 	queuePeak     *metrics.Gauge      // hyfdd_queue_depth_peak
 	running       *metrics.Gauge      // hyfdd_jobs_running
@@ -175,6 +181,7 @@ func New(ctx context.Context, cfg Config) *Server {
 		s.inst = serverMetrics{
 			jobsTotal:    reg.CounterVec("hyfdd_jobs_total", "Jobs by terminal status.", "status"),
 			rejected:     reg.Counter("hyfdd_jobs_rejected_total", "Jobs rejected by admission control (429)."),
+			deltas:       reg.Counter("hyfdd_dataset_deltas_total", "Accepted dataset deltas (snapshot version advances)."),
 			queueDepth:   reg.Gauge("hyfdd_queue_depth", "Jobs currently waiting in the run queue."),
 			queuePeak:    reg.Gauge("hyfdd_queue_depth_peak", "Highest queue depth observed."),
 			running:      reg.Gauge("hyfdd_jobs_running", "Jobs currently executing."),
@@ -240,11 +247,11 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 		tracing.String("dataset", req.Dataset), tracing.String("mode", req.Mode))
 	adm := rec.Start(spanAdmission, root)
 
-	entry, err := s.datasets.lookup(req.Dataset)
+	ds, info, err := s.datasets.lookup(req.Dataset)
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := mapRequest(req, entry.ds)
+	hreq, err := mapRequest(req, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +260,8 @@ func (s *Server) submit(req JobRequest) (*job, error) {
 	j := &job{
 		ctx:       jctx,
 		cancel:    cancel,
-		ds:        entry.ds,
+		ds:        ds,
+		dsVersion: info.Version,
 		request:   req,
 		req:       hreq,
 		status:    StatusQueued,
@@ -500,6 +508,7 @@ func (s *Server) retryAfter() string {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
+	mux.HandleFunc("POST /v1/datasets/{name}/delta", s.handleDatasetDelta)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDelete)

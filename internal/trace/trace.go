@@ -170,15 +170,65 @@ type Done struct {
 	Duration time.Duration
 }
 
-func (IngestDone) event()        {}
-func (PLIBuilt) event()          {}
-func (PreprocessingDone) event() {}
-func (SamplingRound) event()     {}
-func (PhaseSwitch) event()       {}
-func (ValidationLevel) event()   {}
-func (GuardianPrune) event()     {}
-func (RankedResult) event()      {}
-func (Done) event()              {}
+// DeltaApplied reports one Dataset.Apply: the snapshot chain advanced by one
+// version. SharedAttrs counts attributes whose cluster lists are structurally
+// shared with the parent snapshot (deletes force a full rebuild, so it is
+// zero whenever Deletes > 0).
+type DeltaApplied struct {
+	// Version is the new snapshot's version.
+	Version int
+	// Inserts and Deletes count the delta's rows.
+	Inserts int
+	Deletes int
+	// Rows is the new snapshot's row count.
+	Rows int
+	// SharedAttrs counts cluster lists shared with the parent.
+	SharedAttrs int
+	// Duration is the wall-clock time Apply took.
+	Duration time.Duration
+}
+
+// IncrementalCandidates reports the breakable-candidate derivation of an
+// incremental maintenance run: how much of the base cover the delta could
+// actually affect.
+type IncrementalCandidates struct {
+	// BaseFDs is the size of the maintained base cover.
+	BaseFDs int
+	// Breakable counts base FDs an inserted record could have invalidated
+	// (the insert's compressed record is non-singleton on the whole LHS).
+	Breakable int
+	// DeleteSeeds counts the distinct top candidates seeded from deleted
+	// records' touched attribute sets for re-generalization.
+	DeleteSeeds int
+}
+
+// IncrementalDone reports completion of an incremental maintenance run.
+type IncrementalDone struct {
+	// FDs is the size of the maintained minimal cover.
+	FDs int
+	// Checks counts direct-refinement validations performed — the work a
+	// full re-run would have multiplied many times over.
+	Checks int
+	// Specialized counts candidates added while descending from broken FDs.
+	Specialized int
+	// Generalized counts FDs added by delete-driven re-generalization.
+	Generalized int
+	// Duration is the total wall-clock time of the maintenance run.
+	Duration time.Duration
+}
+
+func (IngestDone) event()            {}
+func (PLIBuilt) event()              {}
+func (PreprocessingDone) event()     {}
+func (SamplingRound) event()         {}
+func (PhaseSwitch) event()           {}
+func (ValidationLevel) event()       {}
+func (GuardianPrune) event()         {}
+func (RankedResult) event()          {}
+func (Done) event()                  {}
+func (DeltaApplied) event()          {}
+func (IncrementalCandidates) event() {}
+func (IncrementalDone) event()       {}
 
 // Observer receives trace events during a discovery run.
 type Observer interface {

@@ -41,6 +41,9 @@ const (
 	SpanGuardianPrune   = "guardian.prune"
 	SpanRankedResult    = "ranked.result"
 	SpanEngineDone      = "engine.done"
+	SpanDeltaApply      = "delta.apply"
+	SpanIncrCandidates  = "incremental.candidates"
+	SpanIncrDone        = "incremental.done"
 )
 
 // Observe implements trace.Observer.
@@ -81,5 +84,19 @@ func (b *bridge) Observe(e trace.Event) {
 			Int("rank", ev.Rank), Float("score", ev.Score), Int("rhs", ev.Rhs))
 	case trace.Done:
 		b.rec.Instant(SpanEngineDone, b.parent, Int("fds", ev.FDs))
+	case trace.DeltaApplied:
+		b.rec.Completed(SpanDeltaApply, b.parent, ev.Duration,
+			Int("version", ev.Version), Int("inserts", ev.Inserts),
+			Int("deletes", ev.Deletes), Int("rows", ev.Rows),
+			Int("shared_attrs", ev.SharedAttrs))
+	case trace.IncrementalCandidates:
+		b.rec.Instant(SpanIncrCandidates, b.parent,
+			Int("base_fds", ev.BaseFDs), Int("breakable", ev.Breakable),
+			Int("delete_seeds", ev.DeleteSeeds))
+	case trace.IncrementalDone:
+		b.rec.Completed(SpanIncrDone, b.parent, ev.Duration,
+			Int("fds", ev.FDs), Int("checks", ev.Checks),
+			Int("specialized", ev.Specialized),
+			Int("generalized", ev.Generalized))
 	}
 }

@@ -1,0 +1,33 @@
+package validator
+
+import (
+	"hyfd/internal/bitset"
+	"hyfd/internal/pli"
+)
+
+// Checker exposes the direct-refinement check (Fig. 5) for targeted,
+// single-candidate validation. The incremental maintenance layer uses it to
+// re-validate exactly the candidates a delta can break, instead of walking
+// whole FDTree levels through Validator.Run.
+//
+// A Checker is NOT safe for concurrent use: it reuses internal buffers
+// across calls. Create one Checker per goroutine.
+type Checker struct {
+	ck *checker
+}
+
+// NewChecker returns a checker over the given PLI index.
+func NewChecker(ix *pli.Index) *Checker {
+	return &Checker{ck: newChecker(ix)}
+}
+
+// NumCols returns the attribute count of the underlying index.
+func (c *Checker) NumCols() int { return c.ck.ix.NumCols }
+
+// Refines reports whether lhs → rhs holds exactly on the index, by direct
+// refinement over the pivot PLI. An empty lhs checks whether column rhs is
+// constant.
+func (c *Checker) Refines(lhs bitset.Set, rhs int) bool {
+	valid, _ := c.ck.refines(lhs, bitset.FromIndices(c.ck.ix.NumCols, rhs))
+	return valid.Test(rhs)
+}

@@ -238,6 +238,117 @@ func TestMetamorphicRankedRowDuplicationInvariance(t *testing.T) {
 	})
 }
 
+// --- incremental maintenance metamorphic properties ---
+//
+// The maintained cover is a function of the snapshot's *content*: any two
+// delta sequences leading to the same row multiset must maintain
+// byte-identical covers.
+
+// maintainChain applies the deltas in order through ModeIncremental, starting
+// from a cold Prepare + Discover of rel, and returns the final maintained
+// cover.
+func maintainChain(t *testing.T, rel *hyfd.Relation, deltas []hyfd.Delta, ns hyfd.NullSemantics, threads int) *hyfd.FDSet {
+	t.Helper()
+	ctx := context.Background()
+	ds, err := hyfd.Prepare(ctx, rel, hyfd.PrepareOptions{NullSemantics: ns, Threads: threads})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	base, err := hyfd.Discover(rel, hyfd.Options{NullSemantics: ns, Threads: threads})
+	if err != nil {
+		t.Fatalf("base discover: %v", err)
+	}
+	set := base.Set
+	for i := range deltas {
+		res, err := hyfd.Run(ctx, hyfd.Request{
+			Dataset: ds,
+			Mode:    hyfd.ModeIncremental,
+			Delta:   &deltas[i],
+			Base:    set,
+			Options: hyfd.Options{NullSemantics: ns, Threads: threads},
+		})
+		if err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		ds, set = res.Dataset, res.Set
+	}
+	return set
+}
+
+// metamorphicInsertRows fabricates arity-5 rows shaped like
+// metamorphicRelation's, with values outside the base's id range so the
+// batch genuinely perturbs the near-unique column.
+func metamorphicInsertRows(n int, seed int64) []hyfd.Row {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]hyfd.Row, 0, n)
+	for i := 0; i < n; i++ {
+		cat := r.Intn(4)
+		rows = append(rows, hyfd.Row{
+			"x" + strconv.Itoa(i), "k", strconv.Itoa(cat), strconv.Itoa(cat * 2), strconv.Itoa(r.Intn(3)),
+		})
+	}
+	return rows
+}
+
+// TestMetamorphicIncrementalRoundTrip: inserting a batch and then deleting
+// the same rows (by value) restores the snapshot's row multiset, so the
+// maintained cover must come back byte-identical to the base cover.
+func TestMetamorphicIncrementalRoundTrip(t *testing.T) {
+	rel := metamorphicRelation(50, 707)
+	ins := metamorphicInsertRows(6, 808)
+	forEachNullSemantics(t, func(t *testing.T, ns hyfd.NullSemantics) {
+		base, err := hyfd.Discover(rel, hyfd.Options{NullSemantics: ns, Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{1, 4} {
+			got := maintainChain(t, rel, []hyfd.Delta{
+				{Inserts: ins},
+				{Deletes: ins},
+			}, ns, threads)
+			if got.String() != base.Set.String() {
+				t.Fatalf("threads=%d: insert-then-delete round trip changed the cover:\nmissing: %v\nextra: %v",
+					threads, base.Set.Diff(got), got.Diff(base.Set))
+			}
+		}
+	})
+}
+
+// TestMetamorphicIncrementalBatchOrderInvariance: one combined batch, two
+// single-row batches, and the same two batches in reverse order all reach the
+// same row multiset, so the maintained covers must be byte-identical — and
+// identical to a cold discovery over the final content.
+func TestMetamorphicIncrementalBatchOrderInvariance(t *testing.T) {
+	rel := metamorphicRelation(50, 909)
+	ins := metamorphicInsertRows(4, 1010)
+	a, b := ins[:2], ins[2:]
+	final := hyfd.NewRelation(rel.Name, rel.Columns)
+	for _, row := range rel.Rows {
+		final.AppendRow(row)
+	}
+	for _, row := range ins {
+		final.AppendRow(row)
+	}
+	forEachNullSemantics(t, func(t *testing.T, ns hyfd.NullSemantics) {
+		cold, err := hyfd.Discover(final, hyfd.Options{NullSemantics: ns, Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchings := [][]hyfd.Delta{
+			{{Inserts: ins}},
+			{{Inserts: a}, {Inserts: b}},
+			{{Inserts: b}, {Inserts: a}},
+		}
+		for i, deltas := range batchings {
+			got := maintainChain(t, rel, deltas, ns, 1)
+			if got.String() != cold.Set.String() {
+				t.Fatalf("batching %d diverges from cold discovery over the final content:\nmissing: %v\nextra: %v",
+					i, cold.Set.Diff(got), got.Diff(cold.Set))
+			}
+		}
+	})
+}
+
 // TestMetamorphicRankedColumnPermutationConsistency: permuting columns
 // relabels attributes, so the ranked result must be the base result mapped
 // through the permutation and re-sorted — scores are index-free, but the

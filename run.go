@@ -11,20 +11,25 @@ import (
 	"hyfd/internal/algorithms"
 	"hyfd/internal/core"
 	"hyfd/internal/fd"
+	"hyfd/internal/incremental"
+	"hyfd/internal/metrics"
+	"hyfd/internal/trace"
 	"hyfd/internal/ucc"
 )
 
 // Mode selects the discovery workload of a Run request: exact functional
 // dependencies, approximate functional dependencies (g3 error), unique
-// column combinations, or ranked top-k FD discovery.
+// column combinations, ranked top-k FD discovery, or incremental FD
+// maintenance across dataset snapshots.
 type Mode string
 
-// The four discovery workloads.
+// The five discovery workloads.
 const (
-	ModeFD     Mode = "fd"
-	ModeAFD    Mode = "afd"
-	ModeUCC    Mode = "ucc"
-	ModeRanked Mode = "ranked"
+	ModeFD          Mode = "fd"
+	ModeAFD         Mode = "afd"
+	ModeUCC         Mode = "ucc"
+	ModeRanked      Mode = "ranked"
+	ModeIncremental Mode = "incremental"
 )
 
 // ErrUnknownMode is returned (wrapped) by Run and ParseMode when the mode
@@ -33,7 +38,7 @@ var ErrUnknownMode = errors.New("unknown mode")
 
 // Modes lists the valid mode names.
 func Modes() []string {
-	return []string{string(ModeFD), string(ModeAFD), string(ModeUCC), string(ModeRanked)}
+	return []string{string(ModeFD), string(ModeAFD), string(ModeUCC), string(ModeRanked), string(ModeIncremental)}
 }
 
 // ParseMode normalizes a mode string ("" and "fd" are exact FD discovery;
@@ -49,6 +54,8 @@ func ParseMode(s string) (Mode, error) {
 		return ModeUCC, nil
 	case ModeRanked:
 		return ModeRanked, nil
+	case ModeIncremental:
+		return ModeIncremental, nil
 	}
 	return "", fmt.Errorf("hyfd: %w %q (available: %s)", ErrUnknownMode, s, strings.Join(Modes(), ", "))
 }
@@ -83,6 +90,13 @@ type Request struct {
 	// dropped, and the run stops once no remaining candidate can reach it.
 	// 0 disables the floor. Ignored by the other modes.
 	MinScore float64
+	// Delta is ModeIncremental's update batch, applied to Dataset (which
+	// must be set; Relation is rejected) to advance the snapshot chain.
+	Delta *Delta
+	// Base is ModeIncremental's starting point: the exact minimal FD cover
+	// of Dataset, typically the Set of a previous ModeFD or ModeIncremental
+	// result over that snapshot.
+	Base *FDSet
 	// Options carries the per-run tuning shared by all modes: MaxLhsSize
 	// bounds LHS/UCC sizes everywhere; Threads, EfficiencyThreshold,
 	// MemoryBudgetBytes, Observer, and Metrics apply to the HyFD engine.
@@ -116,9 +130,78 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 		return runAFD(ctx, req)
 	case ModeRanked:
 		return runRanked(ctx, req)
+	case ModeIncremental:
+		return runIncremental(ctx, req)
 	default:
 		return runUCC(ctx, req)
 	}
+}
+
+// runIncremental applies the request's Delta to the prepared Dataset and
+// maintains the Base cover across the snapshot advance — re-validating only
+// the candidates the delta can break instead of re-running discovery. The
+// maintained Set (and the FD digest derived from it) is byte-identical to a
+// cold full run over the new snapshot, at every thread count; Result.Dataset
+// carries the new snapshot for the next increment.
+func runIncremental(ctx context.Context, req Request) (*Result, error) {
+	if req.Algorithm != "" {
+		return nil, fmt.Errorf("hyfd: %w %q (mode %q has a single built-in strategy; leave Algorithm empty)",
+			ErrUnknownAlgorithm, req.Algorithm, ModeIncremental)
+	}
+	if req.Dataset == nil {
+		return nil, errors.New("hyfd: ModeIncremental needs a prepared Dataset (set Request.Dataset, not Relation)")
+	}
+	if req.Delta == nil {
+		return nil, errors.New("hyfd: ModeIncremental needs Request.Delta")
+	}
+	if req.Base == nil {
+		return nil, errors.New("hyfd: ModeIncremental needs Request.Base (the snapshot's exact FD cover)")
+	}
+	if req.Options.MaxLhsSize > 0 {
+		// A truncated base cover does not determine the truncated cover of
+		// the next snapshot: newly-minimal FDs can descend from candidates
+		// beyond the bound. Maintenance therefore requires complete covers.
+		return nil, errors.New("hyfd: ModeIncremental requires an unbounded cover (Options.MaxLhsSize must be 0)")
+	}
+	opts := req.Options
+	observer := trace.Multi(opts.Observer, metrics.NewEngineMetrics(opts.Metrics).Observer())
+	snap, err := req.Dataset.Apply(ctx, *req.Delta)
+	if err != nil {
+		return nil, err
+	}
+	prov := snap.Provenance()
+	trace.Emit(observer, trace.DeltaApplied{
+		Version:     snap.Version(),
+		Inserts:     prov.Inserts,
+		Deletes:     prov.Deletes,
+		Rows:        snap.NumRows(),
+		SharedAttrs: prov.SharedAttrs,
+		Duration:    snap.PreprocessingTime(),
+	})
+	set, istats, err := incremental.Maintain(ctx, snap, req.Base, incremental.Config{
+		Threads:  opts.Threads,
+		Observer: observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = snap.Threads()
+	}
+	stats := &Stats{
+		Rows:              snap.NumRows(),
+		Cols:              snap.NumCols(),
+		FDCount:           set.Size(),
+		MaxLhs:            snap.NumCols(),
+		Complete:          true,
+		Warm:              true,
+		Threads:           threads,
+		Validations:       int64(istats.Checks),
+		PreprocessingTime: snap.PreprocessingTime(),
+		TotalTime:         snap.PreprocessingTime() + istats.Duration,
+	}
+	return &Result{FDs: set.All(), Set: set, Dataset: snap, Stats: stats}, nil
 }
 
 // runFD dispatches exact FD discovery: the HyFD engine or a named baseline,
